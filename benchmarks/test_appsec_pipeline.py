@@ -1,0 +1,87 @@
+"""E11 — the application-security pipeline on registry images (M13-M15,
+Lesson 7).
+
+Regenerates the per-image findings table (SCA actionable vs noise, SAST
+rules fired, DAST fuzz findings or unfuzzability) and the port audit of a
+stock vs hardened host.
+"""
+
+from repro.osmodel.presets import stock_onl_olt_host
+from repro.platform.workloads import (
+    iot_analytics_image, legacy_java_billing_image, malicious_miner_image,
+    ml_inference_image, vulnerable_webapp_image,
+)
+from repro.security.appsec import CatsFuzzer, NmapScanner, SastEngine, ScaScanner
+from repro.security.hardening import harden_host
+from repro.security.vulnmgmt import build_cve_corpus
+
+IMAGES = [
+    ml_inference_image(),
+    iot_analytics_image(),
+    vulnerable_webapp_image(),
+    legacy_java_billing_image(),
+    malicious_miner_image(),
+]
+
+
+def test_appsec_pipeline(benchmark, report):
+    sca = ScaScanner(build_cve_corpus())
+    sast = SastEngine()
+    fuzzer = CatsFuzzer()
+
+    def run_pipeline():
+        return [(image.reference,
+                 sca.scan(image),
+                 sast.scan_image(image),
+                 fuzzer.fuzz_image(image)) for image in IMAGES]
+
+    results = benchmark(run_pipeline)
+
+    lines = ["E11 — application security pipeline over the registry (Lesson 7)",
+             "",
+             f"{'image':<28} {'SCA act.':>8} {'SCA noise':>9} "
+             f"{'SAST sec':>8} {'DAST':>12}"]
+    for reference, sca_report, sast_report, fuzz_report in results:
+        dast = (f"{len(fuzz_report.findings)} defects" if fuzz_report.fuzzable
+                else "not fuzzable")
+        lines.append(f"{reference:<28} {len(sca_report.actionable):>8} "
+                     f"{len(sca_report.noise):>9} "
+                     f"{len(sast_report.security_findings):>8} {dast:>12}")
+
+    webapp = next(r for r in results if r[0].startswith("webshop"))
+    lines.append("")
+    lines.append("seeded-defect detection on webshop/storefront:")
+    lines.append(f"  SAST rules fired: {', '.join(webapp[2].rule_ids())}")
+    kinds = sorted({f.kind for f in webapp[3].findings})
+    lines.append(f"  DAST finding kinds: {', '.join(kinds)} "
+                 f"({webapp[3].requests_sent} fuzz requests)")
+
+    iot = next(r for r in results if r[0].startswith("meterco"))
+    lines.append("")
+    lines.append(f"Lesson 7 noise rate on meterco/iot-analytics: "
+                 f"{iot[1].noise_rate:.0%} of SCA findings are on "
+                 "dependencies the app never imports")
+
+    stock = stock_onl_olt_host()
+    stock_ports = NmapScanner().scan(stock)
+    hardened = stock_onl_olt_host()
+    harden_host(hardened)
+    hardened_ports = NmapScanner(allowed_ports=(22, 443, 161, 6640)).scan(hardened)
+    lines.append("")
+    lines.append(f"nmap audit: stock host exposes "
+                 f"{len(stock_ports.unexpected_open)} unexpected ports "
+                 f"({', '.join(str(f.port) for f in stock_ports.unexpected_open)}); "
+                 f"hardened host exposes {len(hardened_ports.unexpected_open)}")
+    report("E11_appsec_pipeline", "\n".join(lines))
+
+    clean = next(r for r in results if r[0].startswith("acme"))
+    assert not clean[1].findings and not clean[2].security_findings
+    assert not clean[3].findings
+    assert webapp[1].findings and webapp[2].security_findings
+    assert {"server-error", "auth-bypass", "reflected-content"} <= \
+        {f.kind for f in webapp[3].findings}
+    assert iot[1].noise_rate > 0.5
+    miner = next(r for r in results if r[0].startswith("freebie"))
+    assert not miner[3].fuzzable            # Lesson 7: no REST, no fuzzing
+    assert len(stock_ports.unexpected_open) >= 3
+    assert not hardened_ports.unexpected_open

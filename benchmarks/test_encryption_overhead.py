@@ -1,0 +1,106 @@
+"""E6 — encryption and authentication overhead (M3/M4, Lesson 2).
+
+Quantifies Lesson 2's "additional engineering efforts and computational
+resources": PON goodput and frame-size overhead with and without G.987.3
+payload encryption, MACsec per-frame cost, and the asymmetric-operation
+cost of certificate onboarding — while confirming the security win
+(tap defeated, rogue ONU rejected).
+"""
+
+import time
+
+from repro.pon.attacks import FiberTapAttack, OnuImpersonationAttack
+from repro.pon.frames import Frame
+from repro.pon.macsec import MacsecChannel
+from repro.pon.network import PonNetwork
+from repro.pon.onu import Onu
+from repro.security.comms import SecureChannelManager
+
+_PAYLOAD = b"x" * 1024
+_FRAMES = 300
+
+
+def _run_traffic(encrypted: bool):
+    network = PonNetwork.build()
+    manager = None
+    if encrypted:
+        manager = SecureChannelManager()
+        manager.secure_pon(network)
+        onu = Onu("ONU-A")
+        manager.enroll_onu(onu)
+        manager.activate_onu_securely(network, onu)
+    else:
+        network.attach_onu(Onu("ONU-A"))
+    tap = FiberTapAttack(network)
+    start = time.perf_counter()
+    for _ in range(_FRAMES):
+        network.send_downstream("ONU-A", _PAYLOAD)
+    elapsed = time.perf_counter() - start
+    delivered = len(network.delivered_to("ONU-A"))
+    tap_result = tap.run()
+    rogue = OnuImpersonationAttack(network, "ONU-A").run()
+    wire_bytes = network.span().bytes_carried
+    return {
+        "delivered": delivered,
+        "cpu_seconds": elapsed,
+        "wire_bytes": wire_bytes,
+        "tap_succeeded": tap_result.succeeded,
+        "rogue_succeeded": rogue.succeeded,
+        "network": network,
+    }
+
+
+def test_encryption_overhead(benchmark, report):
+    plain = _run_traffic(encrypted=False)
+    secure = _run_traffic(encrypted=True)
+
+    # Benchmark the per-frame MACsec protect+validate cost in isolation.
+    sak = b"k" * 32
+    sender, receiver = MacsecChannel(sak), MacsecChannel(sak)
+    frame = Frame("olt", "cloud", payload=_PAYLOAD)
+
+    def macsec_roundtrip():
+        protected = sender.protect(frame)
+        return receiver.validate(protected)
+
+    benchmark(macsec_roundtrip)
+
+    manager = SecureChannelManager()
+    manager.enroll("olt-1")
+    manager.enroll("cloud")
+    link = manager.secure_link("uplink", "olt-1", "cloud")
+    handshake_cost = link.handshake.cost_units
+
+    overhead_bytes = secure["wire_bytes"] - plain["wire_bytes"]
+    overhead_pct = overhead_bytes / plain["wire_bytes"] * 100
+    cpu_factor = (secure["cpu_seconds"] / plain["cpu_seconds"]
+                  if plain["cpu_seconds"] else float("inf"))
+
+    lines = ["E6 — encryption/authentication overhead vs protection (Lesson 2)",
+             "",
+             f"{'configuration':<22} {'delivered':>9} {'wire bytes':>11} "
+             f"{'CPU factor':>11} {'tap reads?':>11} {'rogue ONU?':>11}"]
+    lines.append(f"{'plaintext PON':<22} {plain['delivered']:>9} "
+                 f"{plain['wire_bytes']:>11} {'1.00x':>11} "
+                 f"{'YES' if plain['tap_succeeded'] else 'no':>11} "
+                 f"{'ACTIVATED' if plain['rogue_succeeded'] else 'rejected':>11}")
+    lines.append(f"{'M3+M4 secured PON':<22} {secure['delivered']:>9} "
+                 f"{secure['wire_bytes']:>11} {cpu_factor:>10.2f}x "
+                 f"{'YES' if secure['tap_succeeded'] else 'no':>11} "
+                 f"{'ACTIVATED' if secure['rogue_succeeded'] else 'rejected':>11}")
+    lines.append("")
+    lines.append(f"wire overhead from AEAD framing: {overhead_bytes} bytes "
+                 f"(+{overhead_pct:.1f}%) over {_FRAMES} frames of "
+                 f"{len(_PAYLOAD)} B")
+    lines.append(f"certificate onboarding handshake: {handshake_cost} "
+                 f"asymmetric operations, {link.handshake.round_trips} RTTs "
+                 "per link")
+    report("E6_encryption_overhead", "\n".join(lines))
+
+    # Shape: security costs something but defeats both attacks, and the
+    # legitimate subscriber loses nothing.
+    assert plain["tap_succeeded"] and plain["rogue_succeeded"]
+    assert not secure["tap_succeeded"] and not secure["rogue_succeeded"]
+    assert secure["delivered"] == plain["delivered"] == _FRAMES
+    assert secure["wire_bytes"] > plain["wire_bytes"]
+    assert cpu_factor > 1.0

@@ -1,0 +1,30 @@
+"""E2 — Figure 2: the GENIO software architecture stack.
+
+Regenerates the per-node-type software stack (hardware -> ONL -> KVM ->
+VMs -> containers; SDN plane; cloud orchestration) from the live
+deployment object, and benchmarks the stack introspection.
+"""
+
+from repro.platform import build_genio_deployment
+
+_DEPLOYMENT = build_genio_deployment(n_olts=2, onus_per_olt=2)
+
+
+def test_fig2_architecture_stack(benchmark, report):
+    stack = benchmark(_DEPLOYMENT.architecture_stack)
+
+    lines = ["Figure 2 — GENIO architecture (software stack per node type)", ""]
+    for node_type in ("ONU", "OLT", "SDN plane", "cloud"):
+        lines.append(f"[{node_type}]")
+        for layer in stack[node_type]:
+            lines.append(f"    {layer}")
+        lines.append("")
+    report("E2_fig2_architecture", "\n".join(lines))
+
+    flattened = " ".join(sum(stack.values(), []))
+    for component in ("Open Networking Linux", "KVM", "Kubernetes",
+                      "Proxmox", "ONOS", "VOLTHA", "x86 COTS"):
+        assert component in flattened
+    # Hard + soft isolation both present on OLTs:
+    olt_stack = " ".join(stack["OLT"])
+    assert "hard isolation" in olt_stack and "soft isolation" in olt_stack

@@ -1,0 +1,60 @@
+"""E5 — hardening coverage (M1/M2, Lesson 1).
+
+Regenerates the pass-rate table: stock ONL vs hardened ONL vs cloud node
+across the SCAP profile, the STIG profile and the kernel baseline, plus
+the rules that stay manual and the settings the SDN stack vetoes.
+"""
+
+from repro.osmodel.presets import cloud_host, stock_onl_olt_host
+from repro.security.hardening import (
+    KernelHardeningChecker, harden_host, onl_scap_profile, stig_profile,
+)
+
+
+def test_hardening_coverage(benchmark, report):
+    stock = stock_onl_olt_host()
+    scap = onl_scap_profile()
+    stig = stig_profile()
+    checker = KernelHardeningChecker()
+
+    stock_rates = {
+        "onl-scap": scap.evaluate(stock).pass_rate,
+        "onl-stig": stig.evaluate(stock).pass_rate,
+        "kernel": checker.check(stock.kernel).pass_rate,
+    }
+
+    def harden_fresh_host():
+        return harden_host(stock_onl_olt_host())
+
+    summary = benchmark(harden_fresh_host)
+
+    cloud = cloud_host()
+    cloud_rates = {
+        "onl-scap": scap.evaluate(cloud).pass_rate,
+        "onl-stig": stig.evaluate(cloud).pass_rate,
+        "kernel": checker.check(cloud.kernel).pass_rate,
+    }
+
+    lines = ["E5 — hardening coverage (pass rates before/after M1+M2)",
+             "",
+             f"{'profile':<12} {'stock ONL':>10} {'hardened ONL':>13} "
+             f"{'cloud node':>11}"]
+    for profile in ("onl-scap", "onl-stig", "kernel"):
+        lines.append(f"{profile:<12} {stock_rates[profile]:>9.0%} "
+                     f"{summary.pass_rate_after[profile]:>12.0%} "
+                     f"{cloud_rates[profile]:>10.0%}")
+    lines.append("")
+    lines.append(f"rules applied automatically: {len(summary.applied_rules)}")
+    lines.append(f"rules requiring manual work (Lesson 1): "
+                 f"{', '.join(sorted(set(summary.manual_rules)))}")
+    lines.append(f"kernel settings vetoed by the SDN stack (Lesson 1): "
+                 f"{', '.join(summary.sdn_conflicts)}")
+    report("E5_hardening_coverage", "\n".join(lines))
+
+    # Shape: stock fails broadly; hardening lifts every profile; the SDN
+    # conflict persists; some STIG rules stay manual.
+    assert stock_rates["onl-scap"] < 0.2
+    assert summary.pass_rate_after["onl-scap"] == 1.0
+    assert summary.pass_rate_after["kernel"] > 0.9
+    assert summary.sdn_conflicts == ["CONFIG_BPF_SYSCALL"]
+    assert summary.manual_rules

@@ -1,0 +1,107 @@
+"""E7 — the integrity chain end to end (M5/M6/M7, Lesson 3).
+
+Regenerates the table of integrity outcomes: boot-tamper detection with
+verification on/off, PCR-sealed disk unlock across good/tampered boots,
+the Lesson 3 Clevis-availability split between legacy ONL and modern
+hosts, and FIM alert-vs-noise classification.
+"""
+
+from repro.osmodel.boot import BootComponent, BootStage
+from repro.osmodel.presets import cloud_host, stock_onl_olt_host
+from repro.security.integrity import (
+    FileIntegrityMonitor, SecureBootProvisioner, provision_secure_storage,
+)
+from repro.security.integrity.securestorage import boot_and_unlock
+
+
+def test_integrity_chain(benchmark, report):
+    lines = ["E7 — integrity chain (M5 secure boot, M6 storage, M7 FIM)", ""]
+
+    # --- M5: boot tampering ------------------------------------------------
+    host = stock_onl_olt_host()
+    provisioner = SecureBootProvisioner()
+    provisioner.provision(host)
+    provisioner.record_golden_state(host)
+
+    def full_verified_boot():
+        return host.boot()
+
+    outcome = benchmark(full_verified_boot)
+    assert outcome.booted
+
+    good_attest = provisioner.attest_host(host)
+    host.boot_chain.install(BootComponent(
+        BootStage.KERNEL, b"vmlinuz-bootkit",
+        signature=host.boot_chain.components[BootStage.KERNEL].signature))
+    tampered_boot = host.boot()
+    host.firmware.secure_boot = False
+    host.boot()
+    measured_only = provisioner.attest_host(host)
+
+    lines.append(f"{'scenario':<46} {'outcome'}")
+    lines.append(f"{'good chain, Secure Boot on':<46} "
+                 f"boots, attestation trusted={good_attest.trusted}")
+    lines.append(f"{'tampered kernel, Secure Boot on':<46} "
+                 f"boot blocked ({tampered_boot.failure})")
+    lines.append(f"{'tampered kernel, Secure Boot OFF':<46} "
+                 f"boots, but attestation trusted={measured_only.trusted} "
+                 f"(PCR {measured_only.mismatched_pcrs} mismatch)")
+
+    # --- M6: storage across host generations (Lesson 3) ----------------------
+    lines.append("")
+    lines.append(f"{'host':<16} {'base':<22} {'encrypted':>9} {'TPM bound':>10} "
+                 f"{'unlock mode':>18}")
+    legacy = stock_onl_olt_host("olt-legacy")
+    legacy_result = provision_secure_storage(legacy)
+    modern = cloud_host("cloud-modern")
+    modern_result = provision_secure_storage(modern)
+    forced = stock_onl_olt_host("olt-forced")
+    forced_result = provision_secure_storage(forced, force_install=True)
+    for host_name, result in [("olt-legacy", legacy_result),
+                              ("cloud-modern", modern_result),
+                              ("olt-forced", forced_result)]:
+        base = ("Debian 10 (ONL)" if "olt" in host_name else "Debian 12")
+        extra = " +conflict risk" if result.conflict_risk else ""
+        lines.append(f"{host_name:<16} {base:<22} "
+                     f"{'yes' if result.encrypted else 'no':>9} "
+                     f"{'yes' if result.tpm_bound else 'no':>10} "
+                     f"{result.unlock_mode + extra:>18}")
+
+    unlock_mode = boot_and_unlock(modern, "data")
+    lines.append(f"modern host unattended unlock: {unlock_mode}")
+
+    # --- M7: FIM alerts vs noise ----------------------------------------------
+    lines.append("")
+    fim_host = stock_onl_olt_host("olt-fim")
+    fim = FileIntegrityMonitor(fim_host)
+    baselined = fim.baseline()
+    fim_host.fs.write("/usr/bin/sudo", b"IMPLANT", actor="attacker")
+    fim_host.fs.write("/var/log/messages", b"ordinary log growth")
+    fim_host.fs.write("/usr/bin/dropper", b"NEW-BINARY", actor="attacker")
+    fim_report = fim.check()
+    lines.append(f"FIM baseline: {baselined} files; after 3 changes: "
+                 f"{len(fim_report.alerts)} real alerts, "
+                 f"{len(fim_report.noise)} mutable-path noise entries")
+    for finding in fim_report.alerts:
+        lines.append(f"  ALERT {finding.change:<9} {finding.path}")
+    for finding in fim_report.noise:
+        lines.append(f"  noise {finding.change:<9} {finding.path} "
+                     "(expected churn, suppressed)")
+
+    naive = FileIntegrityMonitor(stock_onl_olt_host("olt-naive"),
+                                 classify_mutable=False)
+    naive.baseline()
+    naive_host = naive.host
+    naive_host.fs.write("/var/log/messages", b"ordinary log growth")
+    naive_report = naive.check()
+    lines.append(f"without mutable classification the same log write raises "
+                 f"{len(naive_report.alerts)} false alert(s) (Lesson 3)")
+    report("E7_integrity_chain", "\n".join(lines))
+
+    assert good_attest.trusted and not tampered_boot.booted
+    assert not measured_only.trusted
+    assert legacy_result.unlock_mode == "manual-passphrase"
+    assert modern_result.unlock_mode == "auto" and unlock_mode == "auto"
+    assert forced_result.unlock_mode == "auto" and forced_result.conflict_risk
+    assert len(fim_report.alerts) == 2 and len(fim_report.noise) == 1
+    assert len(naive_report.alerts) == 1

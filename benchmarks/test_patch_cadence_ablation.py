@@ -1,0 +1,113 @@
+"""E15 (ablation) — patch cadence vs attack window over simulated time.
+
+Runs 60 days of simulated operations on a stock ONL OLT under different
+maintenance cadences (daily / weekly / monthly), with the fragmented feed
+landscape deciding *when the team even learns* about each CVE. The attack
+window (disclosure -> patch) decomposes into awareness lag (a feed
+property, Lesson 6) plus cycle wait (a process property) — showing that
+past a point, patching faster cannot beat slow feeds.
+"""
+
+from repro.osmodel.presets import stock_onl_olt_host
+from repro.security.vulnmgmt import build_cve_corpus
+from repro.security.vulnmgmt.feeds import (
+    FeedAggregator, NvdApiFeed, StructuredFeed,
+)
+from repro.security.vulnmgmt.hostscan import HostScanner, ONL_PACKAGE_ALIASES
+from repro.security.vulnmgmt.operations import VulnerabilityOperations
+
+_CADENCES = [("daily", 1.0), ("weekly", 7.0), ("monthly", 30.0)]
+_CAMPAIGN_DAYS = 75.0
+
+
+def _nvd_only() -> FeedAggregator:
+    """The worst case: everything learned through the NVD API."""
+    return FeedAggregator(feeds=[], nvd_fallback=NvdApiFeed())
+
+
+def _with_distro_tracker() -> FeedAggregator:
+    """Plus a structured distro security tracker for the debian base."""
+    return FeedAggregator(
+        feeds=[StructuredFeed("debian-security-tracker",
+                              ecosystems=("debian",),
+                              advisory_lag=12 * 3600.0)],
+        nvd_fallback=NvdApiFeed())
+
+
+_FEED_CONFIGS = [("nvd-only", _nvd_only),
+                 ("with-distro-tracker", _with_distro_tracker)]
+
+
+def _campaign(cadence_days: float, aggregator: FeedAggregator
+              ) -> VulnerabilityOperations:
+    host = stock_onl_olt_host()
+    operations = VulnerabilityOperations(
+        host=host,
+        scanner=HostScanner(build_cve_corpus(),
+                            package_aliases=ONL_PACKAGE_ALIASES),
+        aggregator=aggregator,
+        patch_cadence_days=cadence_days)
+    operations.run_for(_CAMPAIGN_DAYS)
+    return operations
+
+
+def test_patch_cadence_ablation(benchmark, report):
+    def run_all():
+        return {
+            (cadence_name, feed_name): _campaign(days, make_feeds())
+            for cadence_name, days in _CADENCES
+            for feed_name, make_feeds in _FEED_CONFIGS
+        }
+
+    campaigns = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"E15 (ablation) — patch cadence x feed quality vs attack "
+             f"window ({_CAMPAIGN_DAYS:.0f} simulated days)",
+             "",
+             f"{'cadence':<9} {'feed config':<22} {'cycles':>6} "
+             f"{'patched':>8} {'mean window':>12}"]
+    stats = {}
+    for (cadence_name, feed_name), operations in campaigns.items():
+        stat = operations.attack_window_stats()
+        stats[(cadence_name, feed_name)] = stat
+        lines.append(f"{cadence_name:<9} {feed_name:<22} "
+                     f"{operations.cycles_run:>6} {stat['patched']:>8} "
+                     f"{stat['mean_window_days']:>10.1f} d")
+
+    daily_tracker = stats[("daily", "with-distro-tracker")]
+    daily_nvd = stats[("daily", "nvd-only")]
+    lines.append("")
+    lines.append("daily cadence, window decomposition by awareness source:")
+    for source, window in sorted(
+            daily_tracker["mean_window_by_source"].items(),
+            key=lambda kv: kv[1]):
+        lines.append(f"  via {source:<26} mean window {window:5.1f} d")
+    lines.append("")
+    lines.append("reading: below ~weekly cadence the *feed*, not the patch "
+                 "process, dominates the window (Lesson 6) — a daily cycle "
+                 "on NVD-only still waits "
+                 f"{daily_nvd['mean_window_days']:.1f} d on average.")
+    lines.append(f"unpatchable in every configuration: "
+                 f"{daily_nvd['unpatchable']} CVEs (no fixed version or "
+                 "kernel-via-ONIE) — the paper's remote-update constraint")
+    report("E15_patch_cadence_ablation", "\n".join(lines))
+
+    # Shape 1: faster cadence -> shorter window (within a feed config).
+    for feed_name, _ in _FEED_CONFIGS:
+        assert (stats[("daily", feed_name)]["mean_window_days"]
+                < stats[("weekly", feed_name)]["mean_window_days"]
+                < stats[("monthly", feed_name)]["mean_window_days"])
+    # Shape 2: better feeds -> shorter window at daily/weekly cadence; at
+    # monthly cadence the cycle wait dominates and the feeds tie — which
+    # is itself the Lesson 6 point about where the bottleneck sits.
+    for cadence_name in ("daily", "weekly"):
+        assert (stats[(cadence_name, "with-distro-tracker")]
+                ["mean_window_days"]
+                < stats[(cadence_name, "nvd-only")]["mean_window_days"])
+    assert (stats[("monthly", "with-distro-tracker")]["mean_window_days"]
+            <= stats[("monthly", "nvd-only")]["mean_window_days"])
+    # Shape 3: every configuration eventually patches the same set.
+    patched_counts = {stat["patched"] for stat in stats.values()}
+    assert len(patched_counts) == 1 and patched_counts.pop() > 5
+    # Shape 4: with the tracker, the structured source carries the bulk.
+    assert "debian-security-tracker" in daily_tracker["mean_window_by_source"]

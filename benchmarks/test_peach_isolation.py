@@ -1,0 +1,53 @@
+"""E13 — PEACH isolation scoring of GENIO's tenancy designs (M17).
+
+Regenerates the isolation-review table comparing hard isolation
+(dedicated VMs), hardened soft isolation (containers with the full M16-M18
+stack) and stock soft isolation, across the five PEACH dimensions.
+"""
+
+from repro.security.sandbox import peach_score
+from repro.security.sandbox.peach import (
+    TenancyConfig, genio_hard_isolation, genio_soft_isolation,
+)
+
+DIMENSIONS = ("privilege", "encryption", "authentication", "connectivity",
+              "hygiene")
+
+
+def test_peach_isolation(benchmark, report):
+    configs = [genio_hard_isolation(),
+               genio_soft_isolation(hardened=True),
+               genio_soft_isolation(hardened=False)]
+
+    def score_all():
+        return [peach_score(config) for config in configs]
+
+    assessments = benchmark(score_all)
+
+    lines = ["E13 — PEACH isolation review of GENIO tenancy designs",
+             "",
+             f"{'dimension':<16}" + "".join(f"{a.config:>34}"
+                                            for a in assessments)]
+    for dimension in DIMENSIONS:
+        row = f"{dimension:<16}"
+        for assessment in assessments:
+            row += f"{assessment.dimension_scores[dimension]:>34.2f}"
+        lines.append(row)
+    lines.append(f"{'interface risk':<16}"
+                 + "".join(f"{a.interface_risk:>34.2f}" for a in assessments))
+    lines.append(f"{'OVERALL':<16}"
+                 + "".join(f"{a.overall:>34.2f}" for a in assessments))
+    lines.append(f"{'verdict':<16}"
+                 + "".join(f"{a.verdict:>34}" for a in assessments))
+    lines.append("")
+    lines.append("stock soft-isolation findings:")
+    for finding in assessments[2].findings:
+        lines.append(f"  - {finding}")
+    report("E13_peach_isolation", "\n".join(lines))
+
+    hard, soft_hardened, soft_stock = assessments
+    assert hard.overall > soft_hardened.overall > soft_stock.overall
+    assert hard.verdict == "adequate isolation"
+    assert soft_stock.verdict == "insufficient isolation for multi-tenancy"
+    # Hardened soft isolation must be materially better than stock:
+    assert soft_hardened.overall - soft_stock.overall > 0.2

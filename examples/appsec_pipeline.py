@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Application-security pipeline on real tenant images (M13-M15, Lesson 7).
+
+Runs SCA, SAST and DAST over the registry's images — one clean, one with
+noisy unused dependencies, one genuinely vulnerable — and prints the
+findings the way GENIO's publication gate sees them.
+
+Run:  python examples/appsec_pipeline.py
+"""
+
+from repro.platform.workloads import (
+    iot_analytics_image, legacy_java_billing_image, ml_inference_image,
+    vulnerable_webapp_image,
+)
+from repro.security.appsec import CatsFuzzer, SastEngine, ScaScanner
+from repro.security.vulnmgmt import build_cve_corpus
+
+
+def main() -> None:
+    print("=== Application security pipeline (M13-M15) ===")
+    sca = ScaScanner(build_cve_corpus())
+    sast = SastEngine()
+    fuzzer = CatsFuzzer()
+
+    for image in (ml_inference_image(), iot_analytics_image(),
+                  vulnerable_webapp_image(), legacy_java_billing_image()):
+        print(f"\n### {image.reference} (provenance: {image.provenance})")
+
+        sca_report = sca.scan(image)
+        print(f"[M13 SCA] {len(sca_report.findings)} findings "
+              f"({len(sca_report.actionable)} on imported deps, "
+              f"{len(sca_report.noise)} noise on unused deps — Lesson 7)")
+        for finding in sca_report.findings[:4]:
+            tag = "" if finding.reachable else "  <- never imported"
+            print(f"    {finding.cve.cve_id:<16} "
+                  f"{finding.package.name}=={finding.package.version}{tag}")
+
+        sast_report = sast.scan_image(image)
+        print(f"[M14 SAST] {len(sast_report.security_findings)} security + "
+              f"{len(sast_report.quality_findings)} quality findings in "
+              f"{sast_report.files_scanned} files")
+        for finding in sast_report.security_findings[:5]:
+            print(f"    {finding.rule_id:<10} {finding.path}:{finding.line} "
+                  f"{finding.message}")
+
+        fuzz_report = fuzzer.fuzz_image(image)
+        if not fuzz_report.fuzzable:
+            print(f"[M15 DAST] {fuzz_report.note} (Lesson 7)")
+        else:
+            print(f"[M15 DAST] {len(fuzz_report.findings)} runtime defects "
+                  f"from {fuzz_report.requests_sent} fuzzed requests")
+            for finding in fuzz_report.findings[:4]:
+                print(f"    {finding.kind:<18} {finding.operation} "
+                      f"param={finding.parameter} [{finding.payload_family}]")
+
+        if image.env_secrets():
+            print(f"[config] secrets in env: {', '.join(image.env_secrets())}")
+
+
+if __name__ == "__main__":
+    main()

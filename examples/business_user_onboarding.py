@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Business-user onboarding: publishing edge applications through the gate.
+
+The GENIO use case from Section II: business users share container images
+on the public registry; the publication gate (M13-M16) decides what gets
+in, and nodes only run what the registry signed.
+
+Run:  python examples/business_user_onboarding.py
+"""
+
+from repro.common.errors import IntegrityError, QuarantineError
+from repro.platform.onboarding import OnboardingService
+from repro.platform.workloads import (
+    iot_analytics_image, malicious_miner_image, ml_inference_image,
+    vulnerable_webapp_image,
+)
+
+
+def main() -> None:
+    print("=== Business-user onboarding through the publication gate ===\n")
+    service = OnboardingService()
+
+    submissions = [
+        ("acme (diligent ML shop)", ml_inference_image()),
+        ("meterco (fat base image)", iot_analytics_image()),
+        ("webshop (sloppy dev)", vulnerable_webapp_image()),
+        ("freebie (malicious reuse)", malicious_miner_image()),
+    ]
+    for publisher, image in submissions:
+        print(f"--- {publisher} submits {image.reference}")
+        try:
+            verdict = service.submit(image, publisher=publisher)
+        except QuarantineError as exc:
+            rejected = service.verdicts[-1]
+            print(f"    REJECTED ({len(rejected.blocking_findings)} blocking "
+                  f"findings):")
+            for finding in rejected.blocking_findings[:4]:
+                print(f"      [{finding.stage}] {finding.detail}")
+            if len(rejected.blocking_findings) > 4:
+                print(f"      ... and "
+                      f"{len(rejected.blocking_findings) - 4} more")
+        else:
+            print(f"    admitted and signed "
+                  f"({len(verdict.advisories)} advisories)")
+            for finding in verdict.advisories[:2]:
+                print(f"      advisory [{finding.stage}] {finding.detail}")
+        print()
+
+    print(f"registry catalog after onboarding: {service.registry.catalog()}")
+
+    print("\n--- node-side pull policy ---")
+    image = service.pull_verified("acme/ml-inference:2.3.1")
+    print(f"verified pull of {image.reference}: ok")
+
+    sideload = vulnerable_webapp_image()
+    service.registry.publish(sideload, publisher="rogue-insider")  # unsigned
+    try:
+        service.pull_verified(sideload.reference)
+    except IntegrityError as exc:
+        print(f"sideloaded unsigned image: pull refused ({exc})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Latency-aware placement plus attestation-gated scheduling.
+
+The Figure 1 story, operationalized: workloads declare latency bounds and
+land on the cheapest layer that satisfies them (cloud < edge < far-edge);
+and because far-edge/edge hardware sits in the field, nodes must pass
+remote attestation before taking work — a tampered OLT is quarantined.
+
+Run:  python examples/far_edge_placement.py
+"""
+
+from repro.osmodel.boot import BootComponent, BootStage
+from repro.platform import build_genio_deployment
+from repro.platform.placement import LayerPlacer, WorkloadRequirement
+from repro.platform.workloads import iot_analytics_image, ml_inference_image
+from repro.security.integrity.attestation import (
+    AttestationAgent, AttestationVerifier,
+)
+from repro.security.integrity.secureboot import SecureBootProvisioner
+
+
+def main() -> None:
+    print("=== Latency-aware placement + attested scheduling ===\n")
+    deployment = build_genio_deployment(n_olts=1, onus_per_olt=3)
+    placer = LayerPlacer(deployment)
+
+    workloads = [
+        WorkloadRequirement("camera-inference", ml_inference_image(),
+                            "tenant-a", max_latency_ms=2.0,
+                            near_onu=sorted(deployment.onus)[0]),
+        WorkloadRequirement("meter-aggregation", iot_analytics_image(),
+                            "tenant-a", max_latency_ms=8.0),
+        WorkloadRequirement("traffic-analytics", ml_inference_image(),
+                            "tenant-b", max_latency_ms=8.0),
+        WorkloadRequirement("monthly-billing", iot_analytics_image(),
+                            "tenant-a", max_latency_ms=500.0),
+        WorkloadRequirement("model-training", ml_inference_image(),
+                            "tenant-b", max_latency_ms=500.0),
+    ]
+    print(f"{'workload':<22} {'latency bound':>13}  placed at")
+    for workload in workloads:
+        placement = placer.place(workload)
+        print(f"{workload.name:<22} {workload.max_latency_ms:>11.1f}ms  "
+              f"{placement.layer} ({placement.node}, "
+              f"~{placement.latency_ms}ms)")
+
+    layers = placer.by_layer()
+    print(f"\nper-layer load: far-edge={len(layers['far-edge'])} "
+          f"edge={len(layers['edge'])} cloud={len(layers['cloud'])} "
+          "(cheap layers fill first)")
+
+    # --- attestation-gated scheduling ---------------------------------------
+    print("\n--- remote attestation gate for field nodes ---")
+    olt_host = deployment.olts[0].host
+    provisioner = SecureBootProvisioner()
+    provisioner.provision(olt_host)
+    provisioner.record_golden_state(olt_host)
+    agent = AttestationAgent(olt_host, seed=3)
+    verifier = AttestationVerifier(provisioner)
+    verifier.register(agent)
+
+    olt_host.boot()
+    nonce = verifier.challenge()
+    verdict = verifier.verify(agent.quote(nonce), nonce)
+    print(f"healthy OLT:   trusted={verdict.trusted} "
+          f"(schedulable={verifier.is_schedulable(olt_host.hostname)})")
+
+    olt_host.firmware.secure_boot = False
+    olt_host.boot_chain.install(BootComponent(BootStage.KERNEL, b"bootkit"))
+    olt_host.boot()
+    nonce = verifier.challenge()
+    verdict = verifier.verify(agent.quote(nonce), nonce)
+    print(f"tampered OLT:  trusted={verdict.trusted} — {verdict.reason}")
+    print(f"               schedulable="
+          f"{verifier.is_schedulable(olt_host.hostname)} "
+          "(workloads drain to other nodes)")
+
+    provisioner.provision(olt_host)
+    olt_host.firmware.secure_boot = True
+    olt_host.boot()
+    nonce = verifier.challenge()
+    verdict = verifier.verify(agent.quote(nonce), nonce)
+    print(f"restored OLT:  trusted={verdict.trusted} "
+          f"(schedulable={verifier.is_schedulable(olt_host.hostname)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""A simulated operations day on the secured GENIO platform.
+
+Ties the operational machinery together on the simulation clock:
+GPON key rotation sweeps, a vulnerability scan-and-patch cycle, a
+compliance drift check after a careless config change, an attestation
+round over the OLT fleet, and incident correlation over the day's
+runtime alerts.
+
+Run:  python examples/operations_day.py
+"""
+
+from repro.platform import build_genio_deployment, vulnerable_webapp_image
+from repro.orchestrator.kube.objects import PodSpec
+from repro.security.access.drift import DriftDetector
+from repro.security.comms.keyrotation import KeyRotationService
+from repro.security.integrity.attestation import (
+    AttestationAgent, AttestationVerifier,
+)
+from repro.security.monitor.correlate import correlate, triage
+from repro.security.pipeline import SecurityPipeline
+
+_HOUR = 3600.0
+
+
+def main() -> None:
+    print("=== A simulated operations day ===\n")
+    deployment = build_genio_deployment(n_olts=1, onus_per_olt=2)
+    posture = SecurityPipeline(deployment).apply()
+    clock = deployment.clock
+    olt = deployment.olts[0]
+
+    # 06:00 — scheduled GPON key rotation.
+    rotation = KeyRotationService(olt.pon, period_s=6 * _HOUR)
+    rotation.start(horizon_s=24 * _HOUR)
+
+    # Baseline compliance for drift detection.
+    drift = DriftDetector(posture.compliance)
+    checks = drift.baseline()
+    print(f"[00:00] compliance baseline approved ({checks} checks)")
+
+    # Attestation round over the fleet.
+    verifier = AttestationVerifier(posture.boot)
+    agents = {}
+    for host in deployment.all_hosts():
+        agent = AttestationAgent(host, seed=hash(host.hostname) % 1000)
+        verifier.register(agent)
+        agents[host.hostname] = agent
+        host.boot()
+        nonce = verifier.challenge()
+        verdict = verifier.verify(agent.quote(nonce), nonce)
+        print(f"[00:10] attestation {host.hostname}: "
+              f"{'trusted' if verdict.trusted else verdict.reason}")
+
+    # 09:00 — a tenant deploys a (vulnerable) app; attacker probes it.
+    clock.advance(9 * _HOUR)
+    pod = deployment.cloud_cluster.schedule(PodSpec(
+        name="storefront", namespace="tenant-a",
+        image=vulnerable_webapp_image(), tenant="tenant-a"))
+    runtime = deployment.cloud_cluster.nodes[pod.node].runtime
+    print(f"\n[09:00] tenant-a deployed {pod.spec.image.reference} "
+          f"on {pod.node}")
+
+    # Post-exploitation behaviour shows up in the syscall stream.
+    for syscall, args in [("execve", {"path": "/bin/sh"}),
+                          ("open", {"path": "/etc/shadow"}),
+                          ("connect", {"dst": "198.51.100.77:443"})]:
+        runtime.syscall(pod.container_id, syscall, **args)
+    print(f"[09:05] monitor has {len(posture.falco.alerts)} alerts so far")
+
+    # 12:00 — someone "temporarily" disables audit logging.
+    clock.advance(3 * _HOUR)
+    deployment.cloud_cluster.api.config.audit_logging = False
+    drift_report = drift.check()
+    print(f"\n[12:00] drift check: {len(drift_report.regressions)} "
+          f"regression(s)")
+    for finding in drift_report.regressions:
+        print(f"        REGRESSED {finding.framework} {finding.check_id}: "
+              f"{finding.description}")
+    deployment.cloud_cluster.api.config.audit_logging = True
+    print("        -> reverted; drift now "
+          f"{'clean' if drift.check().clean else 'dirty'}")
+
+    # 18:00 — correlate the day's alerts into incidents.
+    clock.advance(6 * _HOUR)
+    incidents = correlate(posture.falco.alerts, window_s=15 * 60)
+    buckets = triage(incidents)
+    print(f"\n[18:00] incident correlation: {len(incidents)} incident(s)")
+    for incident in buckets["respond"]:
+        print(f"        RESPOND  {incident.summary()}")
+    for incident in buckets["review"]:
+        print(f"        review   {incident.summary()}")
+
+    # 24:00 — rotation history and closing state.
+    clock.advance(6 * _HOUR)
+    print(f"\n[24:00] key rotations completed: {len(rotation.history)} "
+          f"(indexes now "
+          f"{sorted(set(sum((list(r.new_indexes.values()) for r in rotation.history), [])))[-1]})")
+    print(f"        monitor processed {posture.falco.events_processed} "
+          f"events over the day")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up GENIO, apply the security-by-design pipeline.
+
+Builds the full three-layer platform of the paper's Figure 1 with every
+component's insecure defaults, runs the M1-M18 pipeline over it, and
+prints what changed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.platform import build_genio_deployment
+from repro.security.pipeline import SecurityPipeline
+
+
+def main() -> None:
+    print("=== GENIO quickstart ===\n")
+    deployment = build_genio_deployment(n_olts=2, onus_per_olt=4)
+
+    print("Deployment (Figure 1):")
+    for layer, info in deployment.deployment_inventory().items():
+        print(f"  {layer:<9} {len(info['devices'])} x {info['device_type']}"
+              f" @ {info['location']} (~{info['latency_ms']} ms)")
+
+    print("\nApplying the security-by-design pipeline (M1-M18)...")
+    posture = SecurityPipeline(deployment).apply()
+    for step in posture.steps_completed:
+        print(f"  [done] {step}")
+
+    print("\nHardening results (Lesson 1):")
+    for hostname, summary in posture.hardening.items():
+        before = summary.pass_rate_before
+        after = summary.pass_rate_after
+        print(f"  {hostname}: SCAP {before['onl-scap']:.0%} -> "
+              f"{after['onl-scap']:.0%}, kernel {before['kernel']:.0%} -> "
+              f"{after['kernel']:.0%} "
+              f"(SDN conflicts kept: {', '.join(summary.sdn_conflicts) or 'none'})")
+
+    print("\nSecure storage (Lesson 3):")
+    for hostname, result in posture.storage.items():
+        print(f"  {hostname}: encrypted={result.encrypted} "
+              f"unlock={result.unlock_mode}")
+
+    print("\nPatches applied per host (M8):")
+    for hostname, count in posture.patches_applied.items():
+        print(f"  {hostname}: {count}")
+
+    reports = posture.compliance.run()
+    print("\nCompliance after hardening (M11):")
+    for name, report in reports.items():
+        print(f"  {name:<28} {report.passed}/{len(report.checks)} checks pass")
+
+    print(f"\nRuntime monitor attached; {posture.falco.events_processed} "
+          "events observed so far.")
+    print("\nThe platform is now secured. See the other examples for "
+          "attack/defense walkthroughs.")
+
+
+if __name__ == "__main__":
+    main()

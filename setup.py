@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs on environments without `wheel`.
+
+All real metadata lives in pyproject.toml; this file only lets
+``pip install -e . --no-use-pep517`` work offline.
+"""
+
+from setuptools import setup
+
+setup()

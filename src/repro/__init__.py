@@ -1,0 +1,25 @@
+"""genio-repro: a full simulation reproduction of "Security-by-Design at
+the Telco Edge with OSS: Challenges and Lessons Learned" (DSN 2025).
+
+Top-level convenience API — the two calls most users start from::
+
+    from repro import build_genio_deployment, SecurityPipeline
+
+    deployment = build_genio_deployment()
+    posture = SecurityPipeline(deployment).apply()
+
+Everything else lives in the sub-packages; see README.md for the map.
+"""
+
+__version__ = "1.0.0"
+
+from repro.platform.genio import GenioDeployment, build_genio_deployment
+from repro.security.pipeline import SecurityPipeline, SecurityPosture
+
+__all__ = [
+    "GenioDeployment",
+    "build_genio_deployment",
+    "SecurityPipeline",
+    "SecurityPosture",
+    "__version__",
+]

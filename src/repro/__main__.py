@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``inventory`` — print the Figure 1 deployment inventory.
+* ``threats``   — print the Figure 3 threat/mitigation matrix.
+* ``secure``    — build the platform, run the M1-M18 pipeline, and print
+                  the operator security report.
+* ``attack``    — run the full attack/defense demonstration (all threats,
+                  mitigations on) and print outcomes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_inventory(_: argparse.Namespace) -> int:
+    from repro.platform import build_genio_deployment
+    deployment = build_genio_deployment()
+    for layer, info in deployment.deployment_inventory().items():
+        print(f"[{layer}] {len(info['devices'])} x {info['device_type']} "
+              f"@ {info['location']} (~{info['latency_ms']} ms)")
+        for device in info["devices"]:
+            print(f"    {device}")
+    return 0
+
+
+def _cmd_threats(_: argparse.Namespace) -> int:
+    from repro.security.threatmodel import render_matrix
+    print(render_matrix())
+    return 0
+
+
+def _cmd_secure(args: argparse.Namespace) -> int:
+    from repro.platform import build_genio_deployment
+    from repro.security.pipeline import SecurityPipeline
+    from repro.security.report import generate_report
+    deployment = build_genio_deployment(n_olts=args.olts)
+    posture = SecurityPipeline(deployment).apply()
+    report = generate_report(posture)
+    print(report.render())
+    return 0 if report.ready else 1
+
+
+def _cmd_attack(_: argparse.Namespace) -> int:
+    from repro.attacks import (
+        DefaultCredentialAttack, MaliciousImageAttack,
+        PrivilegeEscalationAttack,
+    )
+    from repro.osmodel.presets import stock_onl_olt_host
+    from repro.platform.workloads import malicious_miner_image
+    from repro.pon.attacks import FiberTapAttack, OnuImpersonationAttack
+    from repro.pon.network import PonNetwork
+    from repro.pon.onu import Onu
+    from repro.sdn.controller import SdnController
+    from repro.security.access.leastprivilege import harden_sdn_controller
+    from repro.security.comms import SecureChannelManager
+    from repro.security.hardening import harden_host
+    from repro.security.malware import make_admission_hook
+    from repro.virt.runtime import ContainerRuntime
+
+    def tap(secured):
+        network = PonNetwork.build()
+        if secured:
+            manager = SecureChannelManager()
+            manager.secure_pon(network)
+            onu = Onu("ONU-A")
+            manager.enroll_onu(onu)
+            manager.activate_onu_securely(network, onu)
+        else:
+            network.attach_onu(Onu("ONU-A"))
+        attack = FiberTapAttack(network)
+        network.send_downstream("ONU-A", b"traffic")
+        return attack.run()
+
+    def escalation(secured):
+        host = stock_onl_olt_host()
+        if secured:
+            harden_host(host)
+        return PrivilegeEscalationAttack(host).run()
+
+    def sdn(secured):
+        controller = SdnController()
+        if secured:
+            harden_sdn_controller(controller)
+        return DefaultCredentialAttack(controller).run()
+
+    def image(secured):
+        runtime = ContainerRuntime("node")
+        if secured:
+            runtime.add_admission_hook(make_admission_hook())
+        return MaliciousImageAttack(runtime, malicious_miner_image()).run()
+
+    cases = [("T1 fiber tap", tap), ("T3 privilege escalation", escalation),
+             ("T5 default SDN creds", sdn), ("T8 malicious image", image)]
+    failures = 0
+    print(f"{'attack':<26} {'mitigations OFF':<16} mitigations ON")
+    for name, runner in cases:
+        off_result, on_result = runner(False), runner(True)
+        ok = off_result.succeeded and not on_result.succeeded
+        failures += not ok
+        print(f"{name:<26} "
+              f"{'SUCCEEDS' if off_result.succeeded else 'fails':<16} "
+              f"{'SUCCEEDS' if on_result.succeeded else 'blocked'}")
+    print("\n(run `pytest benchmarks/test_attack_defense_matrix.py "
+          "--benchmark-only` for all 16 scenarios)")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GENIO security-by-design reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("inventory", help="Figure 1 deployment inventory")
+    sub.add_parser("threats", help="Figure 3 threat/mitigation matrix")
+    secure = sub.add_parser("secure", help="run the M1-M18 pipeline + report")
+    secure.add_argument("--olts", type=int, default=2)
+    sub.add_parser("attack", help="attack/defense demonstration")
+    cra = sub.add_parser("cra", help="Cyber Resilience Act readiness")
+    cra.add_argument("--mitigations", default="all",
+                     help="comma-separated mitigation ids, or 'all'/'none'")
+    args = parser.parse_args(argv)
+    handlers = {"inventory": _cmd_inventory, "threats": _cmd_threats,
+                "secure": _cmd_secure, "attack": _cmd_attack,
+                "cra": _cmd_cra}
+    return handlers[args.command](args)
+
+
+def _cmd_cra(args: argparse.Namespace) -> int:
+    from repro.security.threatmodel.regulatory import assess_cra_readiness
+    from repro.security.threatmodel.risk import ALL_MITIGATIONS
+    if args.mitigations == "all":
+        applied = ALL_MITIGATIONS
+    elif args.mitigations == "none":
+        applied = []
+    else:
+        applied = [m.strip() for m in args.mitigations.split(",") if m.strip()]
+    assessment = assess_cra_readiness(applied)
+    print(assessment.render())
+    return 0 if assessment.ready else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

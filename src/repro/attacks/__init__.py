@@ -1,0 +1,40 @@
+"""Attacker implementations for threats T2-T8.
+
+T1's network attacks live in :mod:`repro.pon.attacks` next to the plant
+they target. Everything here follows the same contract: each attack
+exposes ``run()`` returning a :class:`repro.pon.attacks.AttackResult`,
+so the E4 attack/defense matrix can execute every threat with mitigations
+off and on and tabulate uniformly.
+"""
+
+from repro.pon.attacks import AttackResult
+from repro.attacks.tampering import BootKitAttack, BinaryImplantAttack, MaliciousUpdateAttack
+from repro.attacks.privilege import PrivilegeEscalationAttack
+from repro.attacks.exploits import KernelExploitAttack, HypervisorEscapeAttack
+from repro.attacks.middleware import (
+    AnonymousApiAttack, DefaultCredentialAttack, MiddlewareCveExploit,
+    TokenAbuseAttack, patch_controller,
+)
+from repro.attacks.apps import (
+    CapabilityAbuseAttack, MaliciousImageAttack, ResourceAbuseAttack,
+    VulnerableAppExploit,
+)
+
+__all__ = [
+    "AttackResult",
+    "BootKitAttack",
+    "BinaryImplantAttack",
+    "MaliciousUpdateAttack",
+    "PrivilegeEscalationAttack",
+    "KernelExploitAttack",
+    "HypervisorEscapeAttack",
+    "AnonymousApiAttack",
+    "DefaultCredentialAttack",
+    "MiddlewareCveExploit",
+    "TokenAbuseAttack",
+    "patch_controller",
+    "CapabilityAbuseAttack",
+    "MaliciousImageAttack",
+    "ResourceAbuseAttack",
+    "VulnerableAppExploit",
+]

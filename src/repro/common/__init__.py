@@ -1,0 +1,38 @@
+"""Shared foundation for the GENIO reproduction.
+
+This package provides the primitives every substrate builds on:
+
+* :mod:`repro.common.crypto` -- simulated-but-behaviourally-faithful
+  cryptography (hashing, HMAC, an authenticated stream cipher standing in
+  for AES-GCM, and a from-scratch RSA for signatures and key exchange).
+* :mod:`repro.common.clock` -- a deterministic simulation clock.
+* :mod:`repro.common.events` -- a typed event bus used for audit trails,
+  runtime monitoring and experiment instrumentation.
+* :mod:`repro.common.errors` -- the exception hierarchy.
+* :mod:`repro.common.ids` -- deterministic identifier generation.
+"""
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    ReproError,
+    AuthenticationError,
+    IntegrityError,
+    AuthorizationError,
+    ConfigurationError,
+    NotFoundError,
+)
+from repro.common.events import Event, EventBus
+from repro.common.ids import IdGenerator
+
+__all__ = [
+    "SimClock",
+    "ReproError",
+    "AuthenticationError",
+    "IntegrityError",
+    "AuthorizationError",
+    "ConfigurationError",
+    "NotFoundError",
+    "Event",
+    "EventBus",
+    "IdGenerator",
+]

@@ -1,0 +1,81 @@
+"""Deterministic simulation clock.
+
+Every time-dependent component in the reproduction (PON transmission,
+certificate validity, CVE feed publication, runtime monitoring) reads time
+from a :class:`SimClock` instead of the wall clock, which keeps every
+experiment reproducible and lets benchmarks fast-forward through days of
+simulated operation in milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class SimClock:
+    """A manually-advanced clock with an optional timer wheel.
+
+    Time is a float number of simulated seconds since the simulation epoch.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before the epoch")
+        self._now = float(start)
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, firing any timers that come due, in order."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        deadline = self._now + seconds
+        while self._timers and self._timers[0][0] <= deadline:
+            due, _, callback = heapq.heappop(self._timers)
+            self._now = due
+            callback()
+        self._now = deadline
+
+    def advance_to(self, when: float) -> None:
+        """Advance the clock to an absolute simulated time."""
+        if when < self._now:
+            raise ValueError("cannot advance the clock backwards")
+        self.advance(when - self._now)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire when the clock reaches ``when``."""
+        if when < self._now:
+            raise ValueError("cannot schedule a timer in the past")
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (when, self._timer_seq, callback))
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        self.call_at(self._now + delay, callback)
+
+    def pending_timers(self) -> int:
+        """Number of timers not yet fired."""
+        return len(self._timers)
+
+
+_default_clock: Optional[SimClock] = None
+
+
+def default_clock() -> SimClock:
+    """Process-wide clock for components that are not given one explicitly."""
+    global _default_clock
+    if _default_clock is None:
+        _default_clock = SimClock()
+    return _default_clock
+
+
+def reset_default_clock() -> None:
+    """Reset the process-wide clock (used by test fixtures)."""
+    global _default_clock
+    _default_clock = None

@@ -1,0 +1,260 @@
+"""Simulated-but-behaviourally-faithful cryptography.
+
+The real GENIO platform relies on AES-GCM (MACsec, GPON payload
+encryption), RSA/X.509 (node onboarding, ONIE image signing), GPG (APT
+repositories) and SHA-2 (TPM measurements, Tripwire baselines). This
+module provides stand-ins with the *same observable behaviour*:
+
+* :func:`sha256` / :func:`hmac_sha256` -- real, from :mod:`hashlib`.
+* :class:`RsaKeyPair` -- a from-scratch textbook-RSA-with-hashing scheme
+  (Miller-Rabin keygen, PKCS#1-style sign/verify, simple OAEP-less
+  encryption used only for key wrapping inside the simulation).
+* :func:`aead_encrypt` / :func:`aead_decrypt` -- an authenticated stream
+  cipher (SHA-256 in counter mode for the keystream, HMAC-SHA-256 over
+  nonce, associated data and ciphertext for the tag). Like AES-GCM it
+  provides confidentiality + integrity + authenticity: decrypting with the
+  wrong key or a tampered ciphertext raises :class:`IntegrityError`.
+
+None of this is production cryptography; it exists so the security
+experiments exercise genuine verify/reject code paths offline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import IntegrityError
+
+
+# ---------------------------------------------------------------------------
+# Hashing
+# ---------------------------------------------------------------------------
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex-encoded SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equals(a: bytes, b: bytes) -> bool:
+    """Timing-safe comparison (mirrors real verification code paths)."""
+    return _hmac.compare_digest(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Authenticated encryption (AES-GCM stand-in)
+# ---------------------------------------------------------------------------
+
+_TAG_LEN = 32
+_NONCE_LEN = 16
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream."""
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(sha256(key + nonce + counter.to_bytes(8, "big")))
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def aead_encrypt(
+    key: bytes,
+    plaintext: bytes,
+    associated_data: bytes = b"",
+    nonce: Optional[bytes] = None,
+) -> bytes:
+    """Encrypt-and-authenticate; returns ``nonce || ciphertext || tag``.
+
+    The associated data is authenticated but not encrypted, exactly like
+    the AAD input to AES-GCM (used for frame headers in MACsec).
+    """
+    if not key:
+        raise ValueError("key must be non-empty")
+    if nonce is None:
+        nonce = random.getrandbits(8 * _NONCE_LEN).to_bytes(_NONCE_LEN, "big")
+    if len(nonce) != _NONCE_LEN:
+        raise ValueError(f"nonce must be {_NONCE_LEN} bytes")
+    stream = _keystream(key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac_sha256(key, nonce + associated_data + ciphertext)
+    return nonce + ciphertext + tag
+
+
+def aead_decrypt(key: bytes, blob: bytes, associated_data: bytes = b"") -> bytes:
+    """Verify-and-decrypt a blob produced by :func:`aead_encrypt`.
+
+    :raises IntegrityError: if the tag does not verify (wrong key, tampered
+        ciphertext, or tampered associated data).
+    """
+    if len(blob) < _NONCE_LEN + _TAG_LEN:
+        raise IntegrityError("ciphertext too short to be authentic")
+    nonce = blob[:_NONCE_LEN]
+    ciphertext = blob[_NONCE_LEN:-_TAG_LEN]
+    tag = blob[-_TAG_LEN:]
+    expected = hmac_sha256(key, nonce + associated_data + ciphertext)
+    if not constant_time_equals(tag, expected):
+        raise IntegrityError("authentication tag mismatch")
+    stream = _keystream(key, nonce, len(ciphertext))
+    return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+
+# ---------------------------------------------------------------------------
+# RSA (from scratch, small keys, deterministic when seeded)
+# ---------------------------------------------------------------------------
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 20) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime of exactly ``bits`` bits."""
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    def fingerprint(self) -> str:
+        """Short hex fingerprint identifying this key."""
+        material = f"{self.n}:{self.e}".encode()
+        return sha256_hex(material)[:16]
+
+    def verify(self, data: bytes, signature: bytes) -> bool:
+        """True if ``signature`` is a valid signature of ``data``."""
+        try:
+            sig_int = int.from_bytes(signature, "big")
+        except (TypeError, ValueError):
+            return False
+        if not 0 < sig_int < self.n:
+            return False
+        recovered = pow(sig_int, self.e, self.n)
+        digest = int.from_bytes(sha256(data), "big") % self.n
+        return recovered == digest
+
+    def encrypt_int(self, m: int) -> int:
+        """Raw RSA encryption of an integer (key wrapping only)."""
+        if not 0 <= m < self.n:
+            raise ValueError("message out of range for this key")
+        return pow(m, self.e, self.n)
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """RSA key pair with sign/decrypt capability."""
+
+    public: RsaPublicKey
+    d: int
+
+    @staticmethod
+    def generate(bits: int = 512, seed: Optional[int] = None) -> "RsaKeyPair":
+        """Generate a key pair; deterministic when ``seed`` is given.
+
+        512-bit keys keep the simulation fast; the verify/reject behaviour
+        the experiments rely on is size-independent.
+        """
+        if bits < 128:
+            raise ValueError("key too small even for simulation")
+        rng = random.Random(seed)
+        e = 65537
+        while True:
+            p = _random_prime(bits // 2, rng)
+            q = _random_prime(bits // 2, rng)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            if phi % e == 0:
+                continue
+            n = p * q
+            d = pow(e, -1, phi)
+            return RsaKeyPair(public=RsaPublicKey(n=n, e=e), d=d)
+
+    def sign(self, data: bytes) -> bytes:
+        """Sign SHA-256(data); verify with :meth:`RsaPublicKey.verify`."""
+        digest = int.from_bytes(sha256(data), "big") % self.public.n
+        sig_int = pow(digest, self.d, self.public.n)
+        length = (self.public.n.bit_length() + 7) // 8
+        return sig_int.to_bytes(length, "big")
+
+    def decrypt_int(self, c: int) -> int:
+        """Raw RSA decryption of an integer (key wrapping only)."""
+        if not 0 <= c < self.public.n:
+            raise ValueError("ciphertext out of range for this key")
+        return pow(c, self.d, self.public.n)
+
+
+# ---------------------------------------------------------------------------
+# Hybrid key wrapping (used by the TLS-like handshake and LUKS model)
+# ---------------------------------------------------------------------------
+
+def wrap_key(recipient: RsaPublicKey, symmetric_key: bytes) -> Tuple[int, bytes]:
+    """Wrap a symmetric key for ``recipient``.
+
+    Returns ``(wrapped, check)`` where ``check`` lets the unwrapper confirm
+    it recovered the right key.
+    """
+    m = int.from_bytes(symmetric_key, "big")
+    if m >= recipient.n:
+        raise ValueError("symmetric key too large for recipient key")
+    wrapped = recipient.encrypt_int(m)
+    return wrapped, sha256(symmetric_key)
+
+
+def unwrap_key(keypair: RsaKeyPair, wrapped: int, check: bytes, key_len: int = 32) -> bytes:
+    """Unwrap a symmetric key; raises :class:`IntegrityError` on mismatch."""
+    m = keypair.decrypt_int(wrapped)
+    symmetric_key = m.to_bytes(key_len, "big")
+    if not constant_time_equals(sha256(symmetric_key), check):
+        raise IntegrityError("unwrapped key failed its check value")
+    return symmetric_key
+
+
+def random_key(rng: Optional[random.Random] = None, length: int = 31) -> bytes:
+    """Random symmetric key (31 bytes fits under 512-bit RSA moduli)."""
+    rng = rng or random
+    return bytes(rng.getrandbits(8) for _ in range(length))

@@ -1,0 +1,102 @@
+"""Typed event bus.
+
+The GENIO reproduction is heavily instrumented: the PON plant emits frame
+events, hosts emit syscall and file events, the orchestrator emits API
+audit events. Security components (the Falco-like monitor, Tripwire-like
+FIM, audit loggers) subscribe to these streams. A single lightweight bus
+keeps the coupling loose and lets experiments tap any stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single immutable event on the bus.
+
+    :param topic: dotted topic name, e.g. ``"host.syscall"`` or ``"pon.frame"``.
+    :param source: identifier of the emitting component.
+    :param timestamp: simulated time of emission.
+    :param payload: arbitrary structured data describing the event.
+    """
+
+    topic: str
+    source: str
+    timestamp: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into the payload."""
+        return self.payload.get(key, default)
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Publish/subscribe bus with exact and prefix topic matching.
+
+    Subscribing to ``"host"`` receives ``"host.syscall"``, ``"host.file"``
+    and every other ``host.*`` topic; subscribing to ``""`` receives all
+    events. Events are also retained in a bounded history so late-attaching
+    analysers (and tests) can replay what happened.
+    """
+
+    def __init__(self, history_limit: int = 100_000) -> None:
+        if history_limit < 0:
+            raise ValueError("history_limit must be non-negative")
+        self._subscribers: Dict[str, List[Subscriber]] = {}
+        self._history: List[Event] = []
+        self._history_limit = history_limit
+
+    def subscribe(self, topic: str, subscriber: Subscriber) -> Callable[[], None]:
+        """Register ``subscriber`` for ``topic`` (prefix match on dots).
+
+        Returns an unsubscribe callable.
+        """
+        self._subscribers.setdefault(topic, []).append(subscriber)
+
+        def unsubscribe() -> None:
+            handlers = self._subscribers.get(topic, [])
+            if subscriber in handlers:
+                handlers.remove(subscriber)
+
+        return unsubscribe
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to every matching subscriber and record it."""
+        if self._history_limit:
+            self._history.append(event)
+            if len(self._history) > self._history_limit:
+                # Drop the oldest half in one slice to amortise the cost.
+                del self._history[: self._history_limit // 2]
+        for topic, handlers in list(self._subscribers.items()):
+            if _topic_matches(topic, event.topic):
+                for handler in list(handlers):
+                    handler(event)
+
+    def emit(self, topic: str, source: str, timestamp: float, **payload: Any) -> Event:
+        """Build and publish an event in one call; returns the event."""
+        event = Event(topic=topic, source=source, timestamp=timestamp, payload=payload)
+        self.publish(event)
+        return event
+
+    def history(self, topic: Optional[str] = None) -> Iterator[Event]:
+        """Iterate retained events, optionally filtered by topic prefix."""
+        for event in self._history:
+            if topic is None or _topic_matches(topic, event.topic):
+                yield event
+
+    def clear_history(self) -> None:
+        """Forget retained events (subscribers stay registered)."""
+        self._history.clear()
+
+
+def _topic_matches(pattern: str, topic: str) -> bool:
+    """True if ``pattern`` equals ``topic`` or is a dotted prefix of it."""
+    if pattern == "" or pattern == topic:
+        return True
+    return topic.startswith(pattern + ".")

@@ -1,0 +1,33 @@
+"""Deterministic identifier generation.
+
+Real deployments use UUIDs; the reproduction uses counter-based ids with a
+type prefix (``onu-3``, ``pod-12``) so logs, test assertions and benchmark
+output stay stable across runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class IdGenerator:
+    """Produces ``<prefix>-<n>`` identifiers, one counter per prefix."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Return the next identifier for ``prefix`` (1-based)."""
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        self._counters[prefix] += 1
+        return f"{prefix}-{self._counters[prefix]}"
+
+    def peek(self, prefix: str) -> int:
+        """Number of identifiers already issued for ``prefix``."""
+        return self._counters[prefix]
+
+    def reset(self) -> None:
+        """Forget all counters (used by test fixtures)."""
+        self._counters.clear()

@@ -1,0 +1,39 @@
+"""Middleware orchestration substrate.
+
+GENIO orchestrates VMs and containerized applications with Kubernetes and
+Proxmox (Section II of the paper). This package models both — enough
+surface for the middleware-level threats (T5 privilege abuse via RBAC
+misconfiguration, T6 vulnerable middleware) and their mitigations (M10
+least privilege, M11 benchmark compliance, M12 vulnerability tracking
+with KBOM) to be exercised for real.
+"""
+
+from repro.orchestrator.kube.cluster import KubeCluster
+from repro.orchestrator.kube.apiserver import ApiServer, ApiServerConfig
+from repro.orchestrator.kube.rbac import (
+    PolicyRule, RbacAuthorizer, Role, RoleBinding, Subject,
+)
+from repro.orchestrator.kube.objects import (
+    Namespace, Pod, PodSpec, PodSecurityContext, Secret, ServiceAccount,
+)
+from repro.orchestrator.proxmox import ProxmoxCluster
+from repro.orchestrator.registry import ImageRegistry
+
+__all__ = [
+    "KubeCluster",
+    "ApiServer",
+    "ApiServerConfig",
+    "PolicyRule",
+    "RbacAuthorizer",
+    "Role",
+    "RoleBinding",
+    "Subject",
+    "Namespace",
+    "Pod",
+    "PodSpec",
+    "PodSecurityContext",
+    "Secret",
+    "ServiceAccount",
+    "ProxmoxCluster",
+    "ImageRegistry",
+]

@@ -1,0 +1,1 @@
+"""Kubernetes-like orchestrator: API objects, RBAC, admission, scheduling."""

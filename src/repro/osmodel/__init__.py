@@ -1,0 +1,42 @@
+"""Simulated Linux host substrate.
+
+The paper's infrastructure-level mitigations (M1/M2 hardening, M5-M7
+integrity, M8 scanning, M9 signed updates) all read and modify host state:
+kernel configuration, sysctl, installed packages, services, user accounts,
+files, the boot chain and the TPM. This package models exactly that state,
+declaratively, so the OpenSCAP/STIG/kernel-hardening-checker/Tripwire/
+Vuls-like engines in :mod:`repro.security` operate on a faithful substrate.
+
+Hosts are ONL (Open Networking Linux, Debian 10 based) on OLTs — the
+paper's Lesson 3 friction point — plus mainstream Debian in the cloud.
+"""
+
+from repro.osmodel.filesystem import FileNode, FileSystem
+from repro.osmodel.kernel import KernelConfig
+from repro.osmodel.packages import AptRepository, Package, PackageDatabase, compare_versions
+from repro.osmodel.services import Service
+from repro.osmodel.users import User, UserDatabase
+from repro.osmodel.tpm import Tpm
+from repro.osmodel.boot import BootChain, BootComponent, FirmwareRom
+from repro.osmodel.storage import LuksVolume
+from repro.osmodel.host import Host, DistroInfo
+
+__all__ = [
+    "FileNode",
+    "FileSystem",
+    "KernelConfig",
+    "AptRepository",
+    "Package",
+    "PackageDatabase",
+    "compare_versions",
+    "Service",
+    "User",
+    "UserDatabase",
+    "Tpm",
+    "BootChain",
+    "BootComponent",
+    "FirmwareRom",
+    "LuksVolume",
+    "Host",
+    "DistroInfo",
+]

@@ -1,0 +1,171 @@
+"""Factory functions building realistic hosts.
+
+:func:`stock_onl_olt_host` reproduces the *starting point* of the paper's
+hardening work: an ONL (Debian 10) OLT node with the insecure defaults the
+M1/M2 mitigations exist to fix — permissive SSH, untrusted APT sources, no
+NTP, world-writable paths, passwordless sudo, a soft kernel. The E5
+hardening-coverage experiment measures SCAP/STIG/kernel-check pass rates
+on this host before and after :mod:`repro.security.hardening` runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.clock import SimClock
+from repro.common.events import EventBus
+from repro.osmodel.host import CLOUD_DISTRO, Host, ONL_DISTRO
+from repro.osmodel.kernel import stock_onl_kernel
+from repro.osmodel.packages import Package
+from repro.osmodel.services import Service
+from repro.osmodel.users import User
+
+
+def stock_onl_olt_host(hostname: str = "olt-node-1",
+                       clock: Optional[SimClock] = None,
+                       bus: Optional[EventBus] = None) -> Host:
+    """An un-hardened ONL OLT node as first brought up in the lab."""
+    host = Host(hostname, distro=ONL_DISTRO, kernel=stock_onl_kernel(),
+                clock=clock, bus=bus)
+
+    # -- user-space packages (versions chosen to carry known CVEs) -------------
+    for package in [
+        Package("openssl", "1.1.1d", "TLS library"),
+        Package("openssh-server", "7.9p1", "SSH daemon"),
+        Package("bash", "5.0", "shell"),
+        Package("systemd", "241", "init system"),
+        Package("curl", "7.64.0", "HTTP client"),
+        Package("libc6", "2.28", "C library"),
+        Package("sudo", "1.8.27", "privilege elevation"),
+        Package("rsyslog", "8.1901.0", "logging"),
+        Package("onlp", "1.2.0", "ONL platform library"),
+        Package("openvswitch-switch", "2.10.7", "SDN datapath"),
+        Package("python3", "3.7.3", "runtime"),
+        Package("busybox", "1.30.1", "utilities"),
+        Package("ntp", "4.2.8p12", "time sync", ),
+        Package("telnetd", "0.17", "legacy remote access"),
+        Package("tftpd-hpa", "5.2", "legacy firmware loader"),
+    ]:
+        host.packages.install(package)
+
+    # -- services with insecure defaults ----------------------------------------
+    host.services.add(Service(
+        "sshd", port=22, runs_as="root", essential=True,
+        config={
+            "PermitRootLogin": "yes",
+            "PasswordAuthentication": "yes",
+            "Protocol": "2",
+            "X11Forwarding": "yes",
+            "MaxAuthTries": "10",
+            "ClientAliveInterval": "0",
+            "Ciphers": "aes128-cbc,3des-cbc,aes256-ctr",
+        },
+    ))
+    host.services.add(Service("telnetd", port=23, runs_as="root"))
+    host.services.add(Service("tftpd", port=69, runs_as="root"))
+    host.services.add(Service("ntpd", running=False, enabled=False))
+    host.services.add(Service("rsyslogd", essential=True))
+    host.services.add(Service("onlpd", essential=True, runs_as="root"))
+    host.services.add(Service("ovs-vswitchd", essential=True, runs_as="root",
+                              port=6640))
+    host.services.add(Service("snmpd", port=161,
+                              config={"community": "public"}))
+    host.services.add(Service("http-mgmt", port=80, tls=False,
+                              config={"auth": "basic"}))
+
+    # -- users --------------------------------------------------------------------
+    host.users.add(User("root", uid=0, password_set=True, shell="/bin/bash"))
+    host.users.add(User("admin", uid=1000, groups={"sudo"}, sudo=True,
+                        sudo_nopasswd=True))
+    host.users.add(User("operator", uid=1001, sudo=True, sudo_nopasswd=True))
+    host.users.add(User("diag", uid=1002, password_set=False))
+    host.users.add(User("legacy-svc", uid=1003, password_set=False,
+                        shell="/bin/bash"))
+
+    # -- filesystem ------------------------------------------------------------------
+    fs = host.fs
+    fs.write("/boot/vmlinuz-4.19.0-onl", b"ONL-KERNEL-IMAGE-v1", mode=0o666)
+    fs.write("/boot/grub/grub.cfg", b"set timeout=5\nlinux /vmlinuz", mode=0o666)
+    fs.write("/etc/passwd", b"root:x:0:0::/root:/bin/bash\n", mode=0o644)
+    fs.write("/etc/shadow", b"root:$6$salt$hash:18000:0:99999\n", mode=0o644)
+    fs.write("/etc/ssh/sshd_config", b"PermitRootLogin yes\n", mode=0o644)
+    fs.write("/etc/sudoers", b"%sudo ALL=(ALL) NOPASSWD:ALL\n", mode=0o660)
+    fs.write("/etc/apt/sources.list",
+             b"deb http://deb.debian.org/debian buster main\n"
+             b"deb http://mirror.example.net/unofficial buster main\n"
+             b"deb [trusted=yes] http://sketchy.example.org/onl ./\n",
+             mode=0o644)
+    fs.write("/usr/bin/sudo", b"SUDO-BINARY-1.8.27", mode=0o4755)
+    fs.write("/usr/bin/passwd", b"PASSWD-BINARY", mode=0o4755)
+    fs.write("/usr/bin/legacy-helper", b"VENDOR-HELPER", mode=0o4777)
+    fs.write("/usr/sbin/onlpd", b"ONLPD-BINARY-1.2.0", mode=0o755)
+    fs.write("/usr/sbin/sshd", b"SSHD-BINARY-7.9", mode=0o755)
+    fs.write("/tmp/scratch", b"", mode=0o777)
+    fs.write("/var/log/messages", b"", mode=0o666)
+    fs.write("/etc/ntp.conf", b"# ntp unconfigured\n", mode=0o644)
+
+    return host
+
+
+def cloud_host(hostname: str = "cloud-ctl-1",
+               clock: Optional[SimClock] = None,
+               bus: Optional[EventBus] = None) -> Host:
+    """A mainstream-Debian cloud orchestration node (already modern)."""
+    from repro.osmodel.kernel import KernelConfig
+    host = Host(hostname, distro=CLOUD_DISTRO, clock=clock, bus=bus,
+                kernel=KernelConfig(version="6.1.0-cloud"))
+    host.kernel.kconfig.update({
+        "CONFIG_STACKPROTECTOR": "y",
+        "CONFIG_STACKPROTECTOR_STRONG": "y",
+        "CONFIG_RANDOMIZE_BASE": "y",
+        "CONFIG_STRICT_KERNEL_RWX": "y",
+        "CONFIG_KEXEC": "n",
+        "CONFIG_KPROBES": "n",
+        "CONFIG_DEBUG_FS": "n",
+        "CONFIG_MODULE_SIG": "y",
+        "CONFIG_SECURITY": "y",
+    })
+    host.kernel.cmdline["mitigations"] = "auto"
+    host.kernel.sysctl.update({
+        "kernel.kptr_restrict": "2",
+        "kernel.dmesg_restrict": "1",
+        "kernel.unprivileged_bpf_disabled": "1",
+        "kernel.yama.ptrace_scope": "1",
+        "kernel.sysrq": "0",
+        "fs.protected_symlinks": "1",
+        "fs.protected_hardlinks": "1",
+    })
+    host.kernel.enable_lsm("apparmor")
+    host.kernel.microcode_revision = 42
+
+    for package in [
+        Package("openssl", "3.0.11", "TLS library"),
+        Package("openssh-server", "9.2p1", "SSH daemon"),
+        Package("systemd", "252", "init system"),
+        Package("kubelet", "1.28.4", "Kubernetes node agent"),
+        Package("containerd", "1.7.8", "container runtime"),
+        Package("clevis", "19", "TPM auto-unlock", depends=("tpm2-tools",),
+                min_distro_release=11),
+        Package("tpm2-tools", "5.5", "TPM utilities", min_distro_release=11),
+    ]:
+        host.packages.install(package)
+
+    host.services.add(Service("sshd", port=22, essential=True, config={
+        "PermitRootLogin": "no",
+        "PasswordAuthentication": "no",
+        "Protocol": "2",
+        "X11Forwarding": "no",
+        "MaxAuthTries": "3",
+        "ClientAliveInterval": "300",
+        "Ciphers": "chacha20-poly1305,aes256-gcm",
+    }))
+    host.services.add(Service("ntpd", running=True, enabled=True))
+    host.services.add(Service("kube-apiserver", port=6443, tls=True,
+                              essential=True))
+    host.users.add(User("root", uid=0, password_locked=True,
+                        shell="/usr/sbin/nologin"))
+    host.users.add(User("ops", uid=1000, sudo=True, sudo_nopasswd=False))
+    host.fs.write("/etc/ssh/sshd_config", b"PermitRootLogin no\n", mode=0o600)
+    host.fs.write("/etc/shadow", b"root:!locked:19000:0:99999\n", mode=0o640)
+    host.fs.write("/boot/vmlinuz-6.1.0-cloud", b"CLOUD-KERNEL", mode=0o600)
+    return host

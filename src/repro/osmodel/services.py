@@ -1,0 +1,65 @@
+"""System services and their network exposure.
+
+The SCAP/STIG engines check service configuration (SSH options, NTP
+enablement); the Nmap-like port audit (M15) enumerates the listening
+ports recorded here; the attack modules abuse over-privileged services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Service:
+    """One system service/daemon."""
+
+    name: str
+    running: bool = True
+    enabled: bool = True
+    port: Optional[int] = None      # listening TCP port, if any
+    tls: bool = False               # whether the listener speaks TLS
+    runs_as: str = "root"
+    config: Dict[str, str] = field(default_factory=dict)
+    essential: bool = False         # needed by the platform; can't be stripped
+
+    def stop(self) -> None:
+        self.running = False
+
+    def disable(self) -> None:
+        self.enabled = False
+        self.running = False
+
+    def set_option(self, key: str, value: str) -> None:
+        self.config[key] = value
+
+
+class ServiceRegistry:
+    """All services configured on one host."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, Service] = {}
+
+    def add(self, service: Service) -> Service:
+        self._services[service.name] = service
+        return service
+
+    def get(self, name: str) -> Optional[Service]:
+        return self._services.get(name)
+
+    def remove(self, name: str) -> None:
+        self._services.pop(name, None)
+
+    def all(self) -> List[Service]:
+        return sorted(self._services.values(), key=lambda s: s.name)
+
+    def running(self) -> List[Service]:
+        return [s for s in self.all() if s.running]
+
+    def listening_ports(self) -> Dict[int, Service]:
+        """port -> service for every running listener."""
+        return {s.port: s for s in self.running() if s.port is not None}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services

@@ -1,0 +1,36 @@
+"""The assembled GENIO platform (Section II of the paper).
+
+* :mod:`repro.platform.workloads` — realistic edge-application images
+  (clean, vulnerable, malicious) matching the paper's use cases: ML
+  workloads, real-time analytics, IoT data processing, network functions.
+* :mod:`repro.platform.tenants` — business users, end users, and the
+  IaaS resource-lease model.
+* :mod:`repro.platform.genio` — the three-layer deployment of Figure 1
+  (cloud, edge OLTs, far-edge ONUs) with its software stack (Figure 2),
+  and the hook points where :mod:`repro.security.pipeline` applies the
+  mitigations.
+"""
+
+from repro.platform.genio import GenioDeployment, OltNode, build_genio_deployment
+from repro.platform.tenants import BusinessUser, EndUser, ResourceLease, TenantDirectory
+from repro.platform.workloads import (
+    iot_analytics_image, malicious_miner_image, ml_inference_image,
+    telemetry_gateway_image, vulnerable_webapp_image,
+    legacy_java_billing_image,
+)
+
+__all__ = [
+    "GenioDeployment",
+    "OltNode",
+    "build_genio_deployment",
+    "BusinessUser",
+    "EndUser",
+    "ResourceLease",
+    "TenantDirectory",
+    "iot_analytics_image",
+    "malicious_miner_image",
+    "ml_inference_image",
+    "telemetry_gateway_image",
+    "vulnerable_webapp_image",
+    "legacy_java_billing_image",
+]

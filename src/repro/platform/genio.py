@@ -1,0 +1,201 @@
+"""The assembled GENIO deployment (Figures 1 and 2 of the paper).
+
+:func:`build_genio_deployment` stands up the full three-layer platform
+with the *insecure defaults* every component ships with — permissive ONL
+hosts, serial-only ONU activation, AlwaysAllow Kubernetes, default ONOS
+credentials — because that is the honest starting point of the paper's
+work. :class:`repro.security.pipeline.SecurityPipeline` then applies
+M1-M18, and every experiment can compare the two states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.clock import SimClock
+from repro.common.events import EventBus
+from repro.orchestrator.kube.cluster import KubeCluster
+from repro.orchestrator.kube.objects import Namespace
+from repro.orchestrator.kube.rbac import Subject, permissive_default_rbac
+from repro.orchestrator.proxmox import ProxmoxCluster, PveUser
+from repro.orchestrator.registry import ImageRegistry
+from repro.osmodel.host import Host
+from repro.osmodel.presets import cloud_host, stock_onl_olt_host
+from repro.platform.tenants import BusinessUser, EndUser, TenantDirectory
+from repro.pon.network import PonNetwork
+from repro.pon.onu import Onu
+from repro.sdn.controller import SdnController
+from repro.sdn.voltha import VolthaCore
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.vm import VirtualMachine, VmSpec
+
+# Latency profiles per layer (Figure 1's deployment rationale).
+LAYER_LATENCY_MS = {"far-edge": 1.0, "edge": 5.0, "cloud": 40.0}
+
+
+@dataclass
+class OltNode:
+    """One edge OLT: PON termination + compute hub."""
+
+    name: str
+    host: Host
+    hypervisor: Hypervisor
+    pon: PonNetwork
+    worker_vms: List[VirtualMachine] = field(default_factory=list)
+
+
+@dataclass
+class GenioDeployment:
+    """The whole platform."""
+
+    clock: SimClock
+    bus: EventBus
+    cloud_node: Host
+    cloud_cluster: KubeCluster
+    olts: List[OltNode]
+    onus: Dict[str, Onu]
+    proxmox: ProxmoxCluster
+    sdn: SdnController
+    voltha: VolthaCore
+    registry: ImageRegistry
+    tenants: TenantDirectory
+
+    # -- queries used by the Figure 1/2 benchmarks ------------------------------
+
+    def all_hosts(self) -> List[Host]:
+        return [self.cloud_node] + [olt.host for olt in self.olts]
+
+    def worker_vms(self) -> List[VirtualMachine]:
+        return [vm for olt in self.olts for vm in olt.worker_vms]
+
+    def deployment_inventory(self) -> Dict[str, Dict[str, object]]:
+        """Figure 1: what runs at each layer, and why (latency profile)."""
+        return {
+            "far-edge": {
+                "devices": sorted(self.onus),
+                "device_type": "ONU (+ low-end compute)",
+                "location": "residential and business premises",
+                "latency_ms": LAYER_LATENCY_MS["far-edge"],
+                "suited_for": "ultra-low-latency applications",
+            },
+            "edge": {
+                "devices": [olt.name for olt in self.olts],
+                "device_type": "OLT repurposed as edge hub (x86 COTS)",
+                "location": "telecom central offices",
+                "latency_ms": LAYER_LATENCY_MS["edge"],
+                "suited_for": "strict latency/bandwidth applications",
+            },
+            "cloud": {
+                "devices": [self.cloud_node.hostname],
+                "device_type": "orchestration center",
+                "location": "operator cloud",
+                "latency_ms": LAYER_LATENCY_MS["cloud"],
+                "suited_for": "heavy computation, orchestration",
+            },
+        }
+
+    def architecture_stack(self) -> Dict[str, List[str]]:
+        """Figure 2: the software stack at each node type."""
+        olt = self.olts[0] if self.olts else None
+        olt_stack = ["x86 COTS hardware",
+                     f"{olt.host.distro.version if olt else 'ONL'} "
+                     "(Open Networking Linux)",
+                     "Linux/KVM hypervisor",
+                     f"{len(olt.worker_vms) if olt else 0} worker VMs "
+                     "(hard isolation)",
+                     "container runtime (soft isolation)",
+                     "kubelet (Kubernetes worker)"]
+        return {
+            "ONU": ["PON optics", "onboard firmware",
+                    "far-edge compute profile"],
+            "OLT": olt_stack,
+            "SDN plane": [f"ONOS {self.sdn.version}",
+                          f"VOLTHA {self.voltha.version}",
+                          "OpenFlow/PON adapters"],
+            "cloud": [self.cloud_node.distro.version,
+                      f"Kubernetes {self.cloud_cluster.api.config.version} "
+                      "(orchestration center)",
+                      f"Proxmox {self.proxmox.config.version}",
+                      f"registry {self.registry.name}"],
+        }
+
+
+def build_genio_deployment(
+    n_olts: int = 2,
+    onus_per_olt: int = 4,
+    vms_per_olt: int = 2,
+    tenant_namespaces: tuple = ("tenant-a", "tenant-b"),
+) -> GenioDeployment:
+    """Stand up the full platform with every component's insecure defaults."""
+    clock = SimClock()
+    bus = EventBus()
+
+    # -- cloud layer --------------------------------------------------------------
+    cloud = cloud_host("cloud-ctl-1", clock=clock, bus=bus)
+    cluster = KubeCluster("genio-edge", clock=clock, bus=bus,
+                          rbac=permissive_default_rbac())
+    for namespace in tenant_namespaces:
+        cluster.add_namespace(Namespace(namespace))
+    cluster.add_namespace(Namespace("kube-system"))
+    cluster.api.register_token("token-tenant-a",
+                               Subject("ServiceAccount", "tenant-a:default"))
+    cluster.api.register_token("token-tenant-b",
+                               Subject("ServiceAccount", "tenant-b:default"))
+    cluster.api.register_token("token-ops-alice", Subject("User", "ops-alice"))
+    cluster.api.register_token("token-deployer-a",
+                               Subject("ServiceAccount", "tenant-a:deployer"))
+    cluster.api.register_token("token-deployer-b",
+                               Subject("ServiceAccount", "tenant-b:deployer"))
+
+    # -- middleware -----------------------------------------------------------------
+    proxmox = ProxmoxCluster()
+    proxmox.add_user(PveUser("alice@pve", token="t-alice"))
+    proxmox.add_user(PveUser("auditor@pve", token="t-audit"))
+    sdn = SdnController()
+    voltha = VolthaCore()
+    registry = ImageRegistry()
+    tenants = TenantDirectory()
+    for namespace in tenant_namespaces:
+        tenants.register_business_user(BusinessUser(
+            name=namespace, namespace=namespace))
+
+    # -- edge layer --------------------------------------------------------------------
+    olts: List[OltNode] = []
+    onus: Dict[str, Onu] = {}
+    for olt_index in range(1, n_olts + 1):
+        host = stock_onl_olt_host(f"olt-node-{olt_index}", clock=clock, bus=bus)
+        hypervisor = Hypervisor(host.hostname, cpu_cores=16, memory_mb=65536,
+                                clock=clock, bus=bus)
+        proxmox.add_hypervisor(host.hostname, hypervisor)
+        proxmox.grant(f"/nodes/{host.hostname}", "alice@pve", "PVEVMAdmin")
+
+        pon = PonNetwork.build(f"olt-{olt_index}", clock=clock, bus=bus)
+        node = OltNode(name=host.hostname, host=host,
+                       hypervisor=hypervisor, pon=pon)
+
+        for vm_index in range(vms_per_olt):
+            tenant = tenant_namespaces[vm_index % len(tenant_namespaces)]
+            vm = proxmox.create_vm("alice@pve", host.hostname, VmSpec(
+                name=f"worker-{olt_index}-{vm_index}", vcpus=4,
+                memory_mb=8192, tenant=tenant))
+            node.worker_vms.append(vm)
+            cluster.add_node(vm, labels={"olt": host.hostname,
+                                         "tenant": tenant})
+        olts.append(node)
+
+        # -- far-edge layer --------------------------------------------------------
+        for onu_index in range(1, onus_per_olt + 1):
+            serial = f"GNIO{olt_index:02d}{onu_index:04d}"
+            onu = Onu(serial, premises=f"premises-{olt_index}-{onu_index}")
+            pon.attach_onu(onu)
+            onus[serial] = onu
+            tenants.register_end_user(EndUser(
+                name=f"user-{serial}", onu_serial=serial))
+
+        voltha.attach_olt(pon.olt)
+
+    return GenioDeployment(
+        clock=clock, bus=bus, cloud_node=cloud, cloud_cluster=cluster,
+        olts=olts, onus=onus, proxmox=proxmox, sdn=sdn, voltha=voltha,
+        registry=registry, tenants=tenants)

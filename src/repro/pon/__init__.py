@@ -1,0 +1,33 @@
+"""Passive Optical Network (PON) substrate.
+
+Models the fiber plant GENIO runs on: an OLT in the central office, a
+passive optical splitter, and ONUs at customer premises (Figure 1 of the
+paper). Downstream traffic is *broadcast* to every ONU behind the splitter
+— which is exactly why the paper's T1 threats (fiber tapping, interception,
+replay, ONU impersonation, downstream hijacking) are serious, and why M3
+(MACsec + G.987.3 payload encryption) and M4 (PKI-based mutual
+authentication) exist.
+
+Point-to-point Ethernet segments (inter-OLT, OLT-to-cloud) are modelled by
+:class:`repro.pon.fiber.EthernetLink` and protected by
+:mod:`repro.pon.macsec`.
+"""
+
+from repro.pon.frames import Frame, GemFrame, FrameKind
+from repro.pon.fiber import EthernetLink, FiberSpan, FiberTap
+from repro.pon.onu import Onu
+from repro.pon.olt import Olt, PonPort
+from repro.pon.network import PonNetwork
+
+__all__ = [
+    "Frame",
+    "GemFrame",
+    "FrameKind",
+    "EthernetLink",
+    "FiberSpan",
+    "FiberTap",
+    "Onu",
+    "Olt",
+    "PonPort",
+    "PonNetwork",
+]

@@ -1,0 +1,80 @@
+"""Frame formats carried on the simulated plant.
+
+Two levels are modelled, mirroring the real stack:
+
+* :class:`Frame` -- an Ethernet-ish frame (src/dst address, ethertype,
+  payload). Used on point-to-point segments and as the payload of GEM
+  frames on the PON.
+* :class:`GemFrame` -- the GPON encapsulation unit (ITU-T G.987.3): a GEM
+  port id identifying the logical flow, plus the encapsulated payload.
+  G.987.3 encryption operates on the GEM payload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+class FrameKind(enum.Enum):
+    """Coarse traffic classification used by stats and monitoring."""
+
+    DATA = "data"
+    CONTROL = "control"          # PLOAM-like management traffic
+    ONBOARDING = "onboarding"    # ONU registration / activation
+    KEY_EXCHANGE = "key_exchange"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """An Ethernet-level frame.
+
+    ``secure`` marks frames whose payload is a MACsec/AEAD blob rather
+    than plaintext; ``headers`` carries protocol metadata (sequence
+    numbers, MACsec packet numbers, GPON key indexes) that on-path
+    observers can always read — as in reality, encryption hides payloads,
+    not traffic metadata.
+    """
+
+    src: str
+    dst: str
+    kind: FrameKind = FrameKind.DATA
+    payload: bytes = b""
+    secure: bool = False
+    headers: Dict[str, object] = field(default_factory=dict)
+
+    def with_payload(self, payload: bytes, secure: Optional[bool] = None) -> "Frame":
+        """Copy of this frame with a replaced payload."""
+        return replace(self, payload=payload, secure=self.secure if secure is None else secure)
+
+    def with_header(self, key: str, value: object) -> "Frame":
+        """Copy of this frame with one header added/replaced."""
+        headers = dict(self.headers)
+        headers[key] = value
+        return replace(self, headers=headers)
+
+    @property
+    def size(self) -> int:
+        """Frame size in bytes (payload plus a nominal 18-byte header)."""
+        return len(self.payload) + 18
+
+
+@dataclass(frozen=True)
+class GemFrame:
+    """GPON Encapsulation Method frame: a flow id plus an inner frame.
+
+    Downstream GEM frames are broadcast to every ONU on the PON; each ONU
+    filters on ``gem_port``. Without payload encryption any ONU (or a
+    fiber tap) can read every flow — the paper's interception threat.
+    """
+
+    gem_port: int
+    inner: Frame
+    encrypted: bool = False
+    key_index: int = 0
+
+    @property
+    def size(self) -> int:
+        """GEM frame size in bytes (inner frame plus 5-byte GEM header)."""
+        return self.inner.size + 5

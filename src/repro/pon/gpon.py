@@ -1,0 +1,115 @@
+"""GPON transmission-convergence security (ITU-T G.987.3 style).
+
+G.987.3 recommends AES-based payload encryption for downstream GEM frames,
+with per-ONU keys negotiated over the management channel and rotated via a
+key index. This module implements that scheme over the simulation's AEAD
+stand-in: the OLT holds a :class:`GponKeyServer` mapping each ONU's GEM
+ports to keys; ONUs hold matching :class:`GponDecryptor` state.
+
+Without encryption every ONU behind the splitter receives every downstream
+GEM frame in cleartext (the interception threat); with it, only the ONU
+holding the flow's key recovers the payload, and tampered frames are
+rejected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common import crypto
+from repro.common.errors import IntegrityError, NotFoundError
+from repro.pon.frames import Frame, GemFrame
+
+
+@dataclass
+class GemKey:
+    """A per-GEM-port encryption key with its rotation index."""
+
+    key: bytes
+    index: int = 0
+
+
+class GponKeyServer:
+    """OLT-side key management for downstream GEM encryption.
+
+    Keys are established per GEM port (one or more ports per ONU) and can
+    be rotated; the active key index travels in the GEM header so the ONU
+    knows which key generation to use, as in G.987.3.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random(0x6E10)
+        self._keys: Dict[int, GemKey] = {}
+
+    def establish(self, gem_port: int) -> GemKey:
+        """Create (or return existing) key state for a GEM port."""
+        if gem_port not in self._keys:
+            self._keys[gem_port] = GemKey(key=crypto.random_key(self._rng))
+        return self._keys[gem_port]
+
+    def rotate(self, gem_port: int) -> GemKey:
+        """Rotate the key for a GEM port, bumping its index."""
+        current = self._keys.get(gem_port)
+        if current is None:
+            raise NotFoundError(f"no key established for GEM port {gem_port}")
+        rotated = GemKey(key=crypto.random_key(self._rng), index=current.index + 1)
+        self._keys[gem_port] = rotated
+        return rotated
+
+    def key_for(self, gem_port: int) -> GemKey:
+        """Current key for a GEM port."""
+        key = self._keys.get(gem_port)
+        if key is None:
+            raise NotFoundError(f"no key established for GEM port {gem_port}")
+        return key
+
+    def encrypt(self, gem: GemFrame) -> GemFrame:
+        """Encrypt a downstream GEM frame's inner payload."""
+        key = self.key_for(gem.gem_port)
+        aad = f"{gem.gem_port}:{key.index}".encode()
+        blob = crypto.aead_encrypt(key.key, gem.inner.payload, associated_data=aad)
+        return GemFrame(
+            gem_port=gem.gem_port,
+            inner=gem.inner.with_payload(blob, secure=True),
+            encrypted=True,
+            key_index=key.index,
+        )
+
+    def export_key(self, gem_port: int) -> Tuple[bytes, int]:
+        """Hand the current key to an ONU over the (authenticated) channel."""
+        key = self.key_for(gem_port)
+        return key.key, key.index
+
+
+@dataclass
+class GponDecryptor:
+    """ONU-side decryption state for its assigned GEM ports."""
+
+    keys: Dict[int, GemKey] = field(default_factory=dict)
+
+    def install_key(self, gem_port: int, key: bytes, index: int) -> None:
+        """Install a key delivered by the OLT's key server."""
+        self.keys[gem_port] = GemKey(key=key, index=index)
+
+    def decrypt(self, gem: GemFrame) -> Frame:
+        """Recover the inner frame of an encrypted GEM frame.
+
+        :raises NotFoundError: the ONU holds no key for this GEM port —
+            i.e. the flow belongs to another subscriber.
+        :raises IntegrityError: key index mismatch or tampered payload.
+        """
+        if not gem.encrypted:
+            return gem.inner
+        state = self.keys.get(gem.gem_port)
+        if state is None:
+            raise NotFoundError(f"no key installed for GEM port {gem.gem_port}")
+        if state.index != gem.key_index:
+            raise IntegrityError(
+                f"key index mismatch on GEM port {gem.gem_port}: "
+                f"have {state.index}, frame uses {gem.key_index}"
+            )
+        aad = f"{gem.gem_port}:{gem.key_index}".encode()
+        plaintext = crypto.aead_decrypt(state.key, gem.inner.payload, associated_data=aad)
+        return gem.inner.with_payload(plaintext, secure=False)

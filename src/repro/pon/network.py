@@ -1,0 +1,114 @@
+"""PON network assembly and traffic statistics.
+
+Wires OLTs, fiber spans and ONUs into one plant, and provides the
+measurement hooks the encryption-overhead experiment (E6) uses: frames and
+bytes carried, cumulative transmission delay, and per-ONU delivery counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.clock import SimClock
+from repro.common.events import EventBus
+from repro.pon.fiber import EthernetLink, FiberSpan
+from repro.pon.frames import Frame, FrameKind, GemFrame
+from repro.pon.olt import Olt
+from repro.pon.onu import Onu
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate counters for one measurement window."""
+
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    total_delay_s: float = 0.0
+
+    @property
+    def goodput_bps(self) -> float:
+        """Payload bits per second of simulated transfer time."""
+        if self.total_delay_s <= 0:
+            return 0.0
+        return (self.bytes_sent * 8) / self.total_delay_s
+
+
+class PonNetwork:
+    """One OLT, its PON spans, and the ONUs behind them."""
+
+    def __init__(
+        self,
+        olt: Olt,
+        clock: Optional[SimClock] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        self.olt = olt
+        self.clock = clock or SimClock()
+        self.bus = bus or EventBus()
+        self.onus: Dict[str, Onu] = {}
+        self.stats = TrafficStats()
+        self.uplinks: Dict[str, EthernetLink] = {}
+
+    @classmethod
+    def build(
+        cls,
+        olt_name: str = "olt-1",
+        n_ports: int = 1,
+        clock: Optional[SimClock] = None,
+        bus: Optional[EventBus] = None,
+        auth_mode: str = "serial",
+    ) -> "PonNetwork":
+        """Construct an OLT with ``n_ports`` PON spans ready for ONUs."""
+        clock = clock or SimClock()
+        bus = bus or EventBus()
+        olt = Olt(olt_name, clock=clock, bus=bus, auth_mode=auth_mode)
+        for index in range(n_ports):
+            span = FiberSpan(f"{olt_name}/pon{index}", clock, bus=bus,
+                             latency_s=0.0002, bandwidth_bps=10e9)
+            olt.add_port(index, span)
+        return cls(olt, clock=clock, bus=bus)
+
+    def attach_onu(self, onu: Onu, port_index: int = 0, **activation_kwargs: object) -> int:
+        """Provision and activate an ONU; returns its GEM port."""
+        self.olt.provision_serial(onu.serial)
+        gem_port = self.olt.activate_onu(port_index, onu, **activation_kwargs)
+        self.onus[onu.serial] = onu
+        return gem_port
+
+    def provision_only(self, serial: str) -> int:
+        """Provision a subscriber serial without activating hardware."""
+        return self.olt.provision_serial(serial)
+
+    def add_uplink(self, name: str, link: EthernetLink) -> None:
+        """Attach a point-to-point uplink (inter-OLT or OLT-to-cloud)."""
+        self.uplinks[name] = link
+
+    def send_downstream(self, serial: str, payload: bytes,
+                        kind: FrameKind = FrameKind.DATA, port_index: int = 0) -> float:
+        """Send one downstream frame and account it in :attr:`stats`."""
+        delay = self.olt.send_downstream(port_index, serial, payload, kind=kind)
+        gem_overhead = 5 + 18
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(payload) + gem_overhead
+        self.stats.total_delay_s += delay
+        self.clock.advance(delay)
+        return delay
+
+    def send_upstream(self, serial: str, payload: bytes,
+                      kind: FrameKind = FrameKind.DATA) -> None:
+        """Send one upstream frame from an activated ONU to the OLT."""
+        onu = self.onus.get(serial)
+        if onu is None or not onu.activated:
+            raise ValueError(f"ONU {serial} is not activated on this network")
+        frame = Frame(src=serial, dst=self.olt.name, kind=kind, payload=payload)
+        self.olt.receive_upstream(frame)
+
+    def span(self, port_index: int = 0) -> FiberSpan:
+        """The fiber span of one PON port (tap attachment point)."""
+        return self.olt.ports[port_index].span
+
+    def delivered_to(self, serial: str) -> List[Frame]:
+        """Frames an ONU actually received (and could decrypt)."""
+        onu = self.onus.get(serial)
+        return list(onu.received) if onu else []

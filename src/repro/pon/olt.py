@@ -1,0 +1,252 @@
+"""Optical Line Terminal (OLT) model.
+
+The OLT lives in the telecom central office and terminates the PON. In
+GENIO it is repurposed as an edge-computing hub: x86 COTS hardware running
+ONL Linux, KVM virtual machines and Kubernetes (Figure 2). This module
+models the *network* face of the OLT — PON ports, ONU activation,
+downstream broadcast, upstream reception, GEM encryption. The *compute*
+face (the host OS, VMs, containers) is modelled by :mod:`repro.osmodel`
+and :mod:`repro.virt` and attached by :mod:`repro.platform`.
+
+ONU activation is deliberately two-mode:
+
+* ``serial`` — legacy GPON behaviour: any device announcing a known serial
+  number is activated. This is what makes T1 ONU impersonation work.
+* ``certificate`` — the M4 mitigation: the announcing device must present
+  a certificate chaining to the operator PKI *and* prove possession of the
+  key via a signed challenge. The verifier is injected by the security
+  layer so this substrate stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common import crypto
+from repro.common.clock import SimClock
+from repro.common.errors import AuthenticationError, CapacityError, NotFoundError
+from repro.common.events import EventBus
+from repro.pon.fiber import FiberSpan
+from repro.pon.frames import Frame, FrameKind, GemFrame
+from repro.pon.gpon import GponKeyServer
+from repro.pon.onu import Onu
+
+# (certificate, challenge, signature) -> subject serial, or raise.
+CertificateVerifier = Callable[[object, bytes, bytes], str]
+
+
+@dataclass
+class ActivationRecord:
+    """Outcome of one ONU activation attempt (the onboarding audit log)."""
+
+    serial: str
+    mode: str
+    accepted: bool
+    reason: str
+    timestamp: float
+
+
+@dataclass
+class PonPort:
+    """One PON port: a fiber span shared by up to ``split_ratio`` ONUs."""
+
+    index: int
+    span: FiberSpan
+    onus: Dict[str, Onu] = field(default_factory=dict)
+    split_ratio: int = 64    # 1:64 optical splitter
+
+
+class Olt:
+    """An OLT: PON ports plus the activation and encryption machinery."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[SimClock] = None,
+        bus: Optional[EventBus] = None,
+        auth_mode: str = "serial",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if auth_mode not in ("serial", "certificate"):
+            raise ValueError("auth_mode must be 'serial' or 'certificate'")
+        self.name = name
+        self._clock = clock or SimClock()
+        self._bus = bus
+        self.auth_mode = auth_mode
+        self._rng = rng or random.Random(0x017)
+        self.key_server = GponKeyServer(rng=self._rng)
+        self.encryption_enabled = False
+        self.ports: Dict[int, PonPort] = {}
+        self.provisioned_serials: Dict[str, int] = {}  # serial -> gem_port
+        # serial -> expected firmware hash; when set for a serial, the ONU
+        # must attest matching firmware at activation (anti-T2 on ONUs).
+        self.expected_firmware: Dict[str, str] = {}
+        self.activation_log: List[ActivationRecord] = []
+        self.certificate_verifier: Optional[CertificateVerifier] = None
+        self.upstream_frames: List[Frame] = []
+        self._next_gem_port = 1000
+
+    # -- provisioning ----------------------------------------------------------
+
+    def add_port(self, index: int, span: FiberSpan) -> PonPort:
+        """Attach a PON port backed by ``span``."""
+        if index in self.ports:
+            raise ValueError(f"port {index} already exists on {self.name}")
+        port = PonPort(index=index, span=span)
+        span.attach_receiver(self._deliver_downstream_to_port_factory(port))
+        self.ports[index] = port
+        return port
+
+    def provision_serial(self, serial: str) -> int:
+        """Pre-provision a subscriber serial, assigning it a GEM port."""
+        if serial not in self.provisioned_serials:
+            self.provisioned_serials[serial] = self._next_gem_port
+            self._next_gem_port += 1
+        return self.provisioned_serials[serial]
+
+    def enable_encryption(self) -> None:
+        """Turn on G.987.3 downstream payload encryption (part of M3)."""
+        self.encryption_enabled = True
+
+    def set_certificate_verifier(self, verifier: CertificateVerifier) -> None:
+        """Install the PKI verifier and switch activation to certificate mode."""
+        self.certificate_verifier = verifier
+        self.auth_mode = "certificate"
+
+    # -- activation (the M4 battleground) ---------------------------------------
+
+    def make_challenge(self) -> bytes:
+        """Fresh nonce the activating ONU must sign in certificate mode."""
+        return self._rng.getrandbits(128).to_bytes(16, "big")
+
+    def activate_onu(
+        self,
+        port_index: int,
+        onu: Onu,
+        certificate: Optional[object] = None,
+        challenge: Optional[bytes] = None,
+        challenge_signature: Optional[bytes] = None,
+    ) -> int:
+        """Attempt to activate ``onu`` on a port; returns its GEM port.
+
+        :raises AuthenticationError: unknown serial, or (in certificate
+            mode) a missing/invalid credential.
+        """
+        port = self._port(port_index)
+        serial = onu.serial
+        if serial not in self.provisioned_serials:
+            self._log_activation(serial, accepted=False, reason="unknown serial")
+            raise AuthenticationError(f"serial {serial} is not provisioned")
+
+        if self.auth_mode == "certificate":
+            reason = self._verify_certificate(serial, certificate, challenge, challenge_signature)
+            if reason is not None:
+                self._log_activation(serial, accepted=False, reason=reason)
+                raise AuthenticationError(f"activation of {serial} rejected: {reason}")
+
+        expected_hash = self.expected_firmware.get(serial)
+        if expected_hash is not None and onu.firmware_hash() != expected_hash:
+            reason = (f"firmware measurement mismatch: expected "
+                      f"{expected_hash[:12]}..., device reports "
+                      f"{onu.firmware_hash()[:12]}...")
+            self._log_activation(serial, accepted=False, reason=reason)
+            raise AuthenticationError(
+                f"activation of {serial} rejected: {reason}")
+
+        if serial not in port.onus and len(port.onus) >= port.split_ratio:
+            self._log_activation(serial, accepted=False,
+                                 reason="splitter at capacity")
+            raise CapacityError(
+                f"port {port_index} splitter (1:{port.split_ratio}) is full")
+
+        gem_port = self.provisioned_serials[serial]
+        onu.assign_gem_port(gem_port)
+        onu.activated = True
+        port.onus[serial] = onu
+        key = self.key_server.establish(gem_port)
+        if self.encryption_enabled:
+            onu.decryptor.install_key(gem_port, key.key, key.index)
+        self._log_activation(serial, accepted=True, reason="activated")
+        return gem_port
+
+    def _verify_certificate(
+        self,
+        serial: str,
+        certificate: Optional[object],
+        challenge: Optional[bytes],
+        signature: Optional[bytes],
+    ) -> Optional[str]:
+        """Return a rejection reason, or None if the credential verifies."""
+        if self.certificate_verifier is None:
+            return "certificate mode enabled but no verifier installed"
+        if certificate is None or challenge is None or signature is None:
+            return "missing certificate, challenge, or signature"
+        try:
+            subject = self.certificate_verifier(certificate, challenge, signature)
+        except AuthenticationError as exc:
+            return str(exc)
+        if subject != serial:
+            return f"certificate subject {subject!r} does not match serial {serial!r}"
+        return None
+
+    # -- traffic -----------------------------------------------------------------
+
+    def send_downstream(self, port_index: int, serial: str, payload: bytes,
+                        kind: FrameKind = FrameKind.DATA) -> float:
+        """Broadcast a downstream frame for one subscriber across the PON.
+
+        Returns the transmission delay. The frame physically reaches every
+        ONU (and tap) on the span — only encryption limits who can read it.
+        """
+        port = self._port(port_index)
+        gem_port = self.provisioned_serials.get(serial)
+        if gem_port is None:
+            raise NotFoundError(f"serial {serial} is not provisioned")
+        frame = Frame(src=self.name, dst=serial, kind=kind, payload=payload)
+        gem = GemFrame(gem_port=gem_port, inner=frame)
+        if self.encryption_enabled:
+            gem = self.key_server.encrypt(gem)
+        return port.span.transmit(gem, gem.size)
+
+    def receive_upstream(self, frame: Frame) -> None:
+        """Accept an upstream frame from an activated ONU."""
+        self.upstream_frames.append(frame)
+        if self._bus is not None:
+            self._bus.emit(
+                "pon.upstream", self.name, self._clock.now,
+                src=frame.src, kind=frame.kind.value, size=frame.size,
+            )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _deliver_downstream_to_port_factory(self, port: PonPort) -> Callable[[GemFrame], None]:
+        def deliver(gem: GemFrame) -> None:
+            for onu in port.onus.values():
+                onu.receive_gem(gem)
+        return deliver
+
+    def _port(self, index: int) -> PonPort:
+        port = self.ports.get(index)
+        if port is None:
+            raise NotFoundError(f"OLT {self.name} has no port {index}")
+        return port
+
+    def _log_activation(self, serial: str, accepted: bool, reason: str) -> None:
+        record = ActivationRecord(
+            serial=serial,
+            mode=self.auth_mode,
+            accepted=accepted,
+            reason=reason,
+            timestamp=self._clock.now,
+        )
+        self.activation_log.append(record)
+        if self._bus is not None:
+            self._bus.emit(
+                "pon.activation", self.name, self._clock.now,
+                serial=serial, accepted=accepted, reason=reason, mode=self.auth_mode,
+            )
+
+    def __repr__(self) -> str:
+        return f"Olt(name={self.name!r}, ports={len(self.ports)}, auth={self.auth_mode})"

@@ -1,0 +1,14 @@
+"""Software-defined-networking substrate: ONOS-like controller and
+VOLTHA-like OLT hardware abstraction.
+
+These are the network-management middleware components of Figure 2. They
+expose powerful northbound APIs — the exact surface the paper's M10
+mitigation restricts: production needs device registration, logical
+network configuration and diagnostic logging, while direct shell access,
+low-level debugging endpoints and raw log retrieval are blocked.
+"""
+
+from repro.sdn.controller import ApiCapability, SdnController
+from repro.sdn.voltha import VolthaCore
+
+__all__ = ["ApiCapability", "SdnController", "VolthaCore"]

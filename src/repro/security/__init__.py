@@ -1,0 +1,17 @@
+"""The paper's contribution: security-by-design for the GENIO platform.
+
+Sub-packages map one-to-one onto the paper's sections:
+
+* :mod:`repro.security.threatmodel` — Section III (STRIDE, T1-T8, Fig. 3)
+* :mod:`repro.security.hardening`   — M1, M2 (OpenSCAP, STIGs, kernel checker)
+* :mod:`repro.security.comms`       — M3, M4 (MACsec/GPON encryption, PKI)
+* :mod:`repro.security.integrity`   — M5, M6, M7 (Secure Boot, LUKS, FIM)
+* :mod:`repro.security.vulnmgmt`    — M8, M12 (scanners, CVE feeds, KBOM)
+* :mod:`repro.security.updates`     — M9 (APT GPG, ONIE, binary signing)
+* :mod:`repro.security.access`      — M10, M11 (least privilege, benchmarks)
+* :mod:`repro.security.appsec`      — M13-M15 (SCA, SAST, DAST)
+* :mod:`repro.security.malware`     — M16 (YARA-style scanning)
+* :mod:`repro.security.sandbox`     — M17 (LSM policies, PEACH)
+* :mod:`repro.security.monitor`     — M18 (Falco-style runtime monitoring)
+* :mod:`repro.security.pipeline`    — the end-to-end security-by-design flow
+"""

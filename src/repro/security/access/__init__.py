@@ -1,0 +1,35 @@
+"""M10/M11: middleware access control and guideline compliance (Section V-A).
+
+* :mod:`repro.security.access.leastprivilege` — replaces insecure-default
+  RBAC/ACL/credential state across Kubernetes, Proxmox, ONOS and VOLTHA
+  with least-privilege configurations tailored to GENIO's workflows.
+* :mod:`repro.security.access.compliance` — the five community checkers
+  (docker-bench, kube-bench, kubesec, kube-hunter, kubescape), each
+  covering only a subset of the risks; Lesson 5's point is that the
+  *union* matters.
+"""
+
+from repro.security.access.leastprivilege import (
+    genio_least_privilege_rbac, harden_proxmox, harden_sdn_controller,
+    harden_voltha, tighten_cluster,
+)
+from repro.security.access.compliance import (
+    ComplianceCheck, ComplianceReport, ComplianceSuite,
+    docker_bench, kube_bench, kube_hunter, kubescape, kubesec,
+)
+
+__all__ = [
+    "genio_least_privilege_rbac",
+    "harden_proxmox",
+    "harden_sdn_controller",
+    "harden_voltha",
+    "tighten_cluster",
+    "ComplianceCheck",
+    "ComplianceReport",
+    "ComplianceSuite",
+    "docker_bench",
+    "kube_bench",
+    "kube_hunter",
+    "kubescape",
+    "kubesec",
+]

@@ -1,0 +1,95 @@
+"""Configuration-drift detection (part of M11).
+
+The paper: GENIO "continuously audits configurations to maintain
+compliance" and follows vendor guidance to "detect configuration drift".
+The detector snapshots a compliance suite's results as the approved
+baseline; later runs diff against it, separating *regressions* (checks
+that flipped pass->fail: somebody loosened something) from *improvements*
+and *new checks* (new pods bring new per-pod checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.security.access.compliance import ComplianceReport, ComplianceSuite
+
+
+@dataclass
+class DriftFinding:
+    """One check whose outcome changed against the baseline."""
+
+    framework: str
+    check_id: str
+    description: str
+    change: str       # "regressed" | "improved" | "appeared" | "disappeared"
+    detail: str = ""
+
+
+@dataclass
+class DriftReport:
+    """One drift-detection run."""
+
+    findings: List[DriftFinding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[DriftFinding]:
+        return [f for f in self.findings if f.change == "regressed"]
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions
+
+
+class DriftDetector:
+    """Baseline + diff over a compliance suite."""
+
+    def __init__(self, suite: ComplianceSuite) -> None:
+        self.suite = suite
+        self._baseline: Optional[Dict[Tuple[str, str], Tuple[bool, str]]] = None
+
+    @staticmethod
+    def _flatten(reports: Dict[str, ComplianceReport]
+                 ) -> Dict[Tuple[str, str], Tuple[bool, str]]:
+        flat: Dict[Tuple[str, str], Tuple[bool, str]] = {}
+        for framework, report in reports.items():
+            for check in report.checks:
+                flat[(framework, check.check_id)] = (check.passed,
+                                                     check.description)
+        return flat
+
+    def baseline(self) -> int:
+        """Approve the current state; returns the number of checks."""
+        self._baseline = self._flatten(self.suite.run())
+        return len(self._baseline)
+
+    def check(self) -> DriftReport:
+        """Diff current state against the approved baseline.
+
+        :raises ValueError: no baseline approved yet.
+        """
+        if self._baseline is None:
+            raise ValueError("no approved baseline; call baseline() first")
+        current = self._flatten(self.suite.run())
+        report = DriftReport()
+        for key, (passed, description) in current.items():
+            framework, check_id = key
+            if key not in self._baseline:
+                report.findings.append(DriftFinding(
+                    framework, check_id, description, "appeared",
+                    detail="pass" if passed else "FAILING"))
+                continue
+            was_passing, _ = self._baseline[key]
+            if was_passing and not passed:
+                report.findings.append(DriftFinding(
+                    framework, check_id, description, "regressed"))
+            elif not was_passing and passed:
+                report.findings.append(DriftFinding(
+                    framework, check_id, description, "improved"))
+        for key, (_, description) in self._baseline.items():
+            if key not in current:
+                framework, check_id = key
+                report.findings.append(DriftFinding(
+                    framework, check_id, description, "disappeared"))
+        return report

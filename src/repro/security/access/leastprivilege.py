@@ -1,0 +1,163 @@
+"""M10: least privilege across the middleware stack.
+
+The paper's rule: each role and service holds only the permissions its
+legitimate GENIO workflow needs. The workflows are:
+
+* **tenant workloads** read their own configuration and nothing else;
+* **tenant deployers** manage deployments/pods in their own namespace;
+* **platform operators** administer ``kube-system`` and the nodes, but do
+  not read tenant secrets;
+* **SDN management** gets device registration, network configuration,
+  flow programming and diagnostic logging — never shell access, debug
+  endpoints or raw log retrieval;
+* **VOLTHA administration** is restricted to TLS-certificate service
+  accounts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.orchestrator.kube.apiserver import ApiServerConfig
+from repro.orchestrator.kube.cluster import KubeCluster
+from repro.orchestrator.kube.rbac import (
+    PolicyRule, RbacAuthorizer, Role, RoleBinding, Subject,
+)
+from repro.orchestrator.proxmox import ProxmoxCluster
+from repro.sdn.controller import (
+    PRODUCTION_REQUIRED, ApiAccount, ApiCapability, SdnController,
+)
+from repro.sdn.voltha import ServiceAccount as VolthaAccount, VolthaCore
+
+
+def genio_least_privilege_rbac(
+    tenant_namespaces: Sequence[str] = ("tenant-a", "tenant-b"),
+    operators: Sequence[str] = ("ops-alice", "ops-bob"),
+) -> RbacAuthorizer:
+    """Build the M10 RBAC state for a GENIO cluster."""
+    rbac = RbacAuthorizer()
+
+    # Tenant workload identity: read own config, nothing else.
+    for namespace in tenant_namespaces:
+        rbac.add_role(Role(
+            name="workload", namespace=namespace,
+            rules=[PolicyRule(("get", "list"), ("configmaps",))]))
+        rbac.bind(RoleBinding(
+            name=f"workload-{namespace}", role_name="workload",
+            namespace=namespace,
+            subjects=[Subject("ServiceAccount", f"{namespace}:default")]))
+
+        # Tenant deployer: manage its own application objects.
+        rbac.add_role(Role(
+            name="deployer", namespace=namespace,
+            rules=[
+                PolicyRule(("get", "list", "watch", "create", "update",
+                            "patch", "delete"),
+                           ("deployments", "pods", "services", "configmaps")),
+                PolicyRule(("get", "list"), ("pods/log", "events")),
+            ]))
+        rbac.bind(RoleBinding(
+            name=f"deployer-{namespace}", role_name="deployer",
+            namespace=namespace,
+            subjects=[Subject("ServiceAccount", f"{namespace}:deployer")]))
+
+    # Platform operators: admin in kube-system, read elsewhere, no secrets.
+    rbac.add_role(Role(
+        name="platform-operator", namespace="kube-system",
+        rules=[PolicyRule(("*",), ("pods", "deployments", "services",
+                                   "configmaps", "nodes", "networkpolicies"))]))
+    rbac.add_role(Role(
+        name="cluster-viewer", cluster_wide=True,
+        rules=[PolicyRule(("get", "list", "watch"),
+                          ("pods", "deployments", "services", "events"))]))
+    for operator in operators:
+        rbac.bind(RoleBinding(
+            name=f"operator-{operator}", role_name="platform-operator",
+            namespace="kube-system", subjects=[Subject("User", operator)]))
+        rbac.bind(RoleBinding(
+            name=f"viewer-{operator}", role_name="cluster-viewer",
+            cluster_wide=True, subjects=[Subject("User", operator)]))
+    return rbac
+
+
+def tighten_cluster(cluster: KubeCluster,
+                    tenant_namespaces: Sequence[str] = ("tenant-a", "tenant-b"),
+                    operators: Sequence[str] = ("ops-alice", "ops-bob")) -> None:
+    """Apply M10 + control-plane hardening to a cluster in place."""
+    cluster.api.rbac = genio_least_privilege_rbac(tenant_namespaces, operators)
+    config = cluster.api.config
+    config.anonymous_auth = False
+    config.insecure_port_enabled = False
+    config.tls_enabled = True
+    config.audit_logging = True
+    config.etcd_encryption = True
+    config.authorization_mode = "RBAC"
+    cluster.api.add_admission_controller(
+        "PodSecurity", _pod_security_admission(set(tenant_namespaces)))
+
+
+def _pod_security_admission(restricted_namespaces):
+    """Admission controller enforcing a restricted profile on tenants."""
+    from repro.orchestrator.kube.objects import PodSpec
+
+    def controller(verb: str, resource: str, obj: object) -> Optional[str]:
+        if resource != "pods" or not isinstance(obj, PodSpec):
+            return None
+        if obj.namespace not in restricted_namespaces:
+            return None
+        if obj.security.privileged:
+            return "privileged pods are forbidden in tenant namespaces"
+        if obj.host_network or obj.host_pid:
+            return "host namespaces are forbidden in tenant namespaces"
+        if obj.host_path_volumes:
+            return "hostPath volumes are forbidden in tenant namespaces"
+        if obj.security.added_capabilities:
+            return "added capabilities are forbidden in tenant namespaces"
+        return None
+
+    return controller
+
+
+def harden_sdn_controller(controller: SdnController,
+                          mgmt_cert_fp: str = "fp-genio-mgmt") -> ApiAccount:
+    """Apply M10 to an ONOS-like controller (Lesson 5's 'straightforward'
+    case: required capabilities are well-defined)."""
+    controller.remove_account("onos")
+    account = ApiAccount(username="genio-mgmt",
+                         tls_certificate_fp=mgmt_cert_fp,
+                         capabilities=set(PRODUCTION_REQUIRED))
+    controller.add_account(account)
+    controller.require_tls()
+    for capability in (ApiCapability.SHELL_ACCESS,
+                       ApiCapability.LOW_LEVEL_DEBUG,
+                       ApiCapability.RAW_LOG_RETRIEVAL):
+        controller.block_capability(capability)
+    for app in ("org.onosproject.gui2", "org.onosproject.cli"):
+        controller.deactivate_app(app)
+    return account
+
+
+def harden_voltha(voltha: VolthaCore,
+                  admin_cert_fp: str = "fp-genio-voltha") -> VolthaAccount:
+    """Restrict VOLTHA management to TLS-certificate admin accounts."""
+    account = VolthaAccount("genio-voltha-admin", admin_cert_fp, admin=True)
+    voltha.add_account(account)
+    voltha.enforce_client_certs()
+    return account
+
+
+def harden_proxmox(pve: ProxmoxCluster,
+                   vm_admins: Sequence[str] = ("alice@pve",),
+                   auditors: Sequence[str] = ("auditor@pve",)) -> None:
+    """Scope Proxmox ACLs and fix its insecure cluster settings."""
+    pve.config.web_ui_tls = True
+    pve.config.two_factor_required = True
+    pve.config.root_password_login = False
+    for userid in vm_admins:
+        pve.revoke_all(userid)
+        for node in pve.hypervisors:
+            pve.grant(f"/nodes/{node}", userid, "PVEVMAdmin")
+        pve.grant("/vms", userid, "PVEVMAdmin")
+    for userid in auditors:
+        pve.revoke_all(userid)
+        pve.grant("/", userid, "PVEAuditor")

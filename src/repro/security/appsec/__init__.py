@@ -1,0 +1,32 @@
+"""M13/M14/M15: application security testing (Section VI-A of the paper).
+
+* :mod:`repro.security.appsec.sca` — Trivy/OWASP-Dependency-Check-style
+  software composition analysis over container image package manifests,
+  including the Lesson 7 noise model (flagged-but-unused dependencies,
+  no function-level reachability).
+* :mod:`repro.security.appsec.sast` — Bandit-style AST analysis of the
+  Python sources extracted (Crane-style) from image layers, plus
+  Semgrep-style pattern rules and SpotBugs-style Java pattern rules.
+* :mod:`repro.security.appsec.dast` — a CATS-style REST API fuzzer
+  driving OpenAPI-described endpoints, and an Nmap-style network audit
+  of deployed services.
+"""
+
+from repro.security.appsec.sca import ScaFinding, ScaReport, ScaScanner
+from repro.security.appsec.sast import SastEngine, SastFinding, SastReport
+from repro.security.appsec.dast import (
+    CatsFuzzer, FuzzFinding, NmapScanner, RestService,
+)
+
+__all__ = [
+    "ScaFinding",
+    "ScaReport",
+    "ScaScanner",
+    "SastEngine",
+    "SastFinding",
+    "SastReport",
+    "CatsFuzzer",
+    "FuzzFinding",
+    "NmapScanner",
+    "RestService",
+]

@@ -1,0 +1,26 @@
+"""M3/M4: securing communication (Section IV-B of the paper).
+
+* :mod:`repro.security.comms.pki` — the operator PKI issuing device
+  certificates to ONUs, OLTs and cloud nodes.
+* :mod:`repro.security.comms.handshake` — TLS-1.3-style mutual
+  authentication and key agreement during onboarding.
+* :mod:`repro.security.comms.channels` — turning handshake output into
+  live protection: MACsec on point-to-point Ethernet, G.987.3 payload
+  encryption on the PON, certificate-gated ONU activation.
+* :mod:`repro.security.comms.dnssec` — signed name resolution for
+  onboarding endpoints (RFC 4033 reference in the paper).
+"""
+
+from repro.security.comms.pki import Certificate, CertificateAuthority
+from repro.security.comms.handshake import HandshakeResult, mutual_handshake
+from repro.security.comms.channels import SecureChannelManager
+from repro.security.comms.dnssec import SignedZone
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "HandshakeResult",
+    "mutual_handshake",
+    "SecureChannelManager",
+    "SignedZone",
+]

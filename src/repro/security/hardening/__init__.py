@@ -1,0 +1,36 @@
+"""M1/M2: OS and kernel hardening (Section IV-A of the paper).
+
+* :mod:`repro.security.hardening.scap` — the OpenSCAP-like rule engine
+  and the ONL SCAP profile (SSH, NTP, APT sources, kernel files...).
+* :mod:`repro.security.hardening.stig` — the STIG-derived profile
+  (encryption policies, access restriction, secure-boot configuration).
+* :mod:`repro.security.hardening.kernelcheck` — the
+  kernel-hardening-checker-like engine validating kconfig/cmdline/sysctl
+  against a hardened baseline.
+* :mod:`repro.security.hardening.remediate` — applies every automatable
+  remediation, honoring ONL's SDN compatibility constraints (Lesson 1).
+"""
+
+from repro.security.hardening.scap import (
+    CheckResult, ScapProfile, ScapReport, ScapRule, Severity, onl_scap_profile,
+)
+from repro.security.hardening.stig import stig_profile
+from repro.security.hardening.kernelcheck import (
+    KernelCheckReport, KernelHardeningChecker, harden_kernel,
+)
+from repro.security.hardening.remediate import HardeningSummary, harden_host
+
+__all__ = [
+    "CheckResult",
+    "ScapProfile",
+    "ScapReport",
+    "ScapRule",
+    "Severity",
+    "onl_scap_profile",
+    "stig_profile",
+    "KernelCheckReport",
+    "KernelHardeningChecker",
+    "harden_kernel",
+    "HardeningSummary",
+    "harden_host",
+]

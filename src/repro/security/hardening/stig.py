@@ -1,0 +1,128 @@
+"""STIG-derived profile (part of M1).
+
+The paper notes GENIO aligns with Security Technical Implementation
+Guides originally written for Ubuntu/mainstream distributions and adapts
+them to ONL — hence several rules here are *not automatable* on ONL
+(Lesson 1's "iterative adjustments"): enabling disk encryption or Secure
+Boot requires provisioning steps the SCAP engine cannot perform by
+itself, so those rules carry no ``remediate`` and remain manual until the
+integrity pipeline (:mod:`repro.security.integrity`) runs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.osmodel.host import Host
+from repro.security.hardening.scap import ScapProfile, ScapRule, Severity
+
+
+def _check_disk_encryption(host: Host) -> Tuple[bool, str]:
+    if not host.volumes:
+        return False, "no LUKS volumes provisioned"
+    return True, f"{len(host.volumes)} encrypted volumes"
+
+
+def _check_tpm_bound_storage(host: Host) -> Tuple[bool, str]:
+    bound = [v.name for v in host.volumes.values()
+             if any(s.slot_type == "tpm" for s in v.slots)]
+    if bound:
+        return True, f"TPM-bound volumes: {', '.join(bound)}"
+    return False, "no TPM-bound volume (manual passphrase entry required)"
+
+
+def _check_secure_boot(host: Host) -> Tuple[bool, str]:
+    return (host.firmware.secure_boot,
+            "Secure Boot " + ("enabled" if host.firmware.secure_boot else "disabled"))
+
+
+def _check_root_login_locked(host: Host) -> Tuple[bool, str]:
+    root = host.users.get("root")
+    if root is None:
+        return True, "no root account"
+    return (root.login_disabled, "root login "
+            + ("locked" if root.login_disabled else "enabled"))
+
+
+def _remediate_root_login(host: Host) -> None:
+    root = host.users.get("root")
+    if root is not None:
+        root.password_locked = True
+        root.shell = "/usr/sbin/nologin"
+
+
+def _check_grub_perms(host: Host) -> Tuple[bool, str]:
+    path = "/boot/grub/grub.cfg"
+    if not host.fs.exists(path):
+        return True, "no grub.cfg"
+    mode = host.fs.node(path).mode
+    return ((mode & 0o077) == 0, f"grub.cfg mode={oct(mode)}")
+
+
+def _check_x11(host: Host) -> Tuple[bool, str]:
+    sshd = host.services.get("sshd")
+    value = sshd.config.get("X11Forwarding", "no") if sshd else "no"
+    return (value == "no", f"X11Forwarding={value}")
+
+
+def _check_idle_timeout(host: Host) -> Tuple[bool, str]:
+    sshd = host.services.get("sshd")
+    value = sshd.config.get("ClientAliveInterval", "0") if sshd else "0"
+    ok = value.isdigit() and 0 < int(value) <= 600
+    return (ok, f"ClientAliveInterval={value}")
+
+
+def _check_log_perms(host: Host) -> Tuple[bool, str]:
+    loose = [n.path for n in host.fs.walk("/var/log") if n.mode & 0o026]
+    return (not loose, f"{len(loose)} log files group/world writable")
+
+
+def _remediate_log_perms(host: Host) -> None:
+    for node in host.fs.walk("/var/log"):
+        if node.mode & 0o026:
+            host.fs.chmod(node.path, 0o640)
+
+
+def _check_audit_daemon(host: Host) -> Tuple[bool, str]:
+    rsyslog = host.services.get("rsyslogd")
+    running = bool(rsyslog and rsyslog.running)
+    return (running, "rsyslogd " + ("running" if running else "absent"))
+
+
+def stig_profile() -> ScapProfile:
+    """The STIG-aligned rule set GENIO layers on top of SCAP."""
+    profile = ScapProfile("onl-stig")
+    profile.add(ScapRule(
+        "STIG-ENC-01", "Data at rest encrypted (LUKS)", Severity.HIGH,
+        _check_disk_encryption))                               # manual: provisioning
+    profile.add(ScapRule(
+        "STIG-ENC-02", "Disk keys bound to platform state (TPM)", Severity.MEDIUM,
+        _check_tpm_bound_storage))                             # manual: Lesson 3
+    profile.add(ScapRule(
+        "STIG-BOOT-01", "Secure Boot enabled", Severity.HIGH,
+        _check_secure_boot))                                   # manual: key enrollment
+    profile.add(ScapRule(
+        "STIG-BOOT-02", "Bootloader config not world-readable", Severity.MEDIUM,
+        _check_grub_perms,
+        lambda h: h.fs.chmod("/boot/grub/grub.cfg", 0o600)
+        if h.fs.exists("/boot/grub/grub.cfg") else None))
+    profile.add(ScapRule(
+        "STIG-ACC-01", "Direct root login locked", Severity.HIGH,
+        _check_root_login_locked, _remediate_root_login))
+    profile.add(ScapRule(
+        "STIG-SSH-01", "X11 forwarding disabled", Severity.LOW,
+        _check_x11,
+        lambda h: h.services.get("sshd").set_option("X11Forwarding", "no")
+        if h.services.get("sshd") else None))
+    profile.add(ScapRule(
+        "STIG-SSH-02", "SSH idle timeout configured", Severity.LOW,
+        _check_idle_timeout,
+        lambda h: h.services.get("sshd").set_option("ClientAliveInterval", "300")
+        if h.services.get("sshd") else None))
+    profile.add(ScapRule(
+        "STIG-LOG-01", "Log files not group/world writable", Severity.MEDIUM,
+        _check_log_perms, _remediate_log_perms))
+    profile.add(ScapRule(
+        "STIG-LOG-02", "System audit/log daemon running", Severity.MEDIUM,
+        _check_audit_daemon))
+    return profile

@@ -1,0 +1,28 @@
+"""M5/M6/M7: code and data integrity (Section IV-C of the paper).
+
+* :mod:`repro.security.integrity.secureboot` — provisioning Secure Boot
+  (Shim/GRUB/kernel signing, key enrollment) and Measured Boot
+  attestation against golden PCR values.
+* :mod:`repro.security.integrity.securestorage` — LUKS provisioning with
+  Clevis-style TPM binding, including the Lesson 3 availability gate.
+* :mod:`repro.security.integrity.fim` — Tripwire-style file integrity
+  monitoring with signed, encrypted baselines and mutable-path policy.
+"""
+
+from repro.security.integrity.secureboot import (
+    AttestationResult, SecureBootProvisioner, attest,
+)
+from repro.security.integrity.securestorage import (
+    StorageProvisioningResult, provision_secure_storage,
+)
+from repro.security.integrity.fim import FileIntegrityMonitor, FimFinding
+
+__all__ = [
+    "AttestationResult",
+    "SecureBootProvisioner",
+    "attest",
+    "StorageProvisioningResult",
+    "provision_secure_storage",
+    "FileIntegrityMonitor",
+    "FimFinding",
+]

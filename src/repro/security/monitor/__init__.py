@@ -1,0 +1,27 @@
+"""M18: Falco-style runtime monitoring."""
+
+from repro.security.monitor.falco import (
+    Alert, FalcoEngine, FalcoRule, Priority, default_rules,
+)
+from repro.security.monitor.abuse import ResourceAbuseDetector
+from repro.security.monitor.correlate import Incident, correlate, triage
+from repro.security.monitor.forensics import EvidenceBundle, ForensicCollector
+from repro.security.monitor.response import IncidentResponder
+from repro.security.monitor.rulespec import compile_rule, compile_ruleset
+
+__all__ = [
+    "Alert",
+    "FalcoEngine",
+    "FalcoRule",
+    "Priority",
+    "default_rules",
+    "ResourceAbuseDetector",
+    "Incident",
+    "correlate",
+    "triage",
+    "EvidenceBundle",
+    "ForensicCollector",
+    "IncidentResponder",
+    "compile_rule",
+    "compile_ruleset",
+]

@@ -1,0 +1,73 @@
+"""Resource-abuse detection (the T8 'monopolizing resources' case).
+
+The Falco engine sees syscalls; resource abuse shows up in utilization,
+so GENIO pairs it with a sampler that watches per-container consumption
+against fair-share expectations and flags tenants that monopolize the
+node. Detection feeds the same alert stream; *enforcement* is limits
+(:class:`~repro.virt.container.ResourceLimits`) plus eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.virt.runtime import ContainerRuntime
+
+
+@dataclass
+class AbuseFinding:
+    """One over-consumption observation."""
+
+    container_id: str
+    tenant: str
+    cpu_share: float          # fraction of node CPU consumed
+    memory_share: float
+    fair_share: float         # 1 / number of running containers
+    detail: str = ""
+
+
+class ResourceAbuseDetector:
+    """Samples a runtime and flags containers far above fair share."""
+
+    def __init__(self, runtime: ContainerRuntime,
+                 tolerance: float = 2.0) -> None:
+        if tolerance < 1.0:
+            raise ValueError("tolerance must be >= 1.0")
+        self.runtime = runtime
+        self.tolerance = tolerance
+        self.findings: List[AbuseFinding] = []
+
+    def sample(self) -> List[AbuseFinding]:
+        """One sampling pass; returns (and records) current findings."""
+        running = self.runtime.running_containers()
+        if not running:
+            return []
+        fair = 1.0 / len(running)
+        current: List[AbuseFinding] = []
+        for container in running:
+            cpu_share = (container.cpu_used / self.runtime.cpu_capacity
+                         if self.runtime.cpu_capacity else 0.0)
+            memory_share = (container.memory_used_mb
+                            / self.runtime.memory_capacity_mb
+                            if self.runtime.memory_capacity_mb else 0.0)
+            worst = max(cpu_share, memory_share)
+            if len(running) > 1 and worst > fair * self.tolerance:
+                current.append(AbuseFinding(
+                    container_id=container.id, tenant=container.tenant,
+                    cpu_share=round(cpu_share, 4),
+                    memory_share=round(memory_share, 4),
+                    fair_share=round(fair, 4),
+                    detail=(f"consuming {worst:.0%} of node vs fair share "
+                            f"{fair:.0%} (tolerance x{self.tolerance})")))
+        self.findings.extend(current)
+        return current
+
+    def evict_offenders(self) -> List[str]:
+        """Kill currently-flagged containers; returns their ids."""
+        evicted = []
+        for finding in self.sample():
+            self.runtime.kill(finding.container_id,
+                              f"resource abuse: {finding.detail}")
+            evicted.append(finding.container_id)
+        return evicted

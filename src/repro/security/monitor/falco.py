@@ -1,0 +1,229 @@
+"""Falco-style runtime monitoring engine (M18).
+
+Consumes the event streams the substrates publish (container syscalls,
+host file mutations, logins, control-plane audit) and evaluates them
+against a customizable rule set — observing *without blocking*, exactly
+as the paper contrasts Falco with signature scanners and sandboxes.
+
+Lesson 8's two tensions are first-class:
+
+* **tuning**: every rule carries exception predicates; the experiments
+  show the default rules alert on benign operational behaviour (e.g. an
+  operator exec'ing a debug shell) until exceptions are added, and that
+  over-broad exceptions then miss real attacks;
+* **overhead**: the engine counts events and rule evaluations, and
+  :meth:`FalcoEngine.overhead_estimate` converts them into a relative
+  cost; the E12 bench also measures real wall-clock overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.events import Event, EventBus
+
+Condition = Callable[[Event], bool]
+
+
+class Priority(enum.IntEnum):
+    NOTICE = 1
+    WARNING = 2
+    ERROR = 3
+    CRITICAL = 4
+
+
+@dataclass
+class FalcoRule:
+    """One detection rule."""
+
+    name: str
+    description: str
+    topics: Tuple[str, ...]
+    condition: Condition
+    priority: Priority = Priority.WARNING
+    exceptions: List[Condition] = field(default_factory=list)
+
+    def applies_to(self, topic: str) -> bool:
+        return any(topic == t or topic.startswith(t + ".")
+                   for t in self.topics)
+
+    def evaluate(self, event: Event) -> bool:
+        if not self.condition(event):
+            return False
+        return not any(exception(event) for exception in self.exceptions)
+
+    def add_exception(self, exception: Condition) -> None:
+        """Tuning: suppress matches the operator has vetted as benign."""
+        self.exceptions.append(exception)
+
+
+@dataclass
+class Alert:
+    """One fired detection."""
+
+    rule: str
+    priority: Priority
+    timestamp: float
+    source: str
+    summary: str
+
+
+class FalcoEngine:
+    """The monitoring engine attached to an event bus."""
+
+    def __init__(self, rules: Optional[Sequence[FalcoRule]] = None) -> None:
+        self.rules = list(rules if rules is not None else default_rules())
+        self.alerts: List[Alert] = []
+        self.events_processed = 0
+        self.rule_evaluations = 0
+        self.rule_errors: Dict[str, int] = {}
+        self._unsubscribe: Optional[Callable[[], None]] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> None:
+        if self._unsubscribe is not None:
+            raise ValueError("engine already attached")
+        self._unsubscribe = bus.subscribe("", self._handle)
+
+    def detach(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def rule(self, name: str) -> FalcoRule:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise KeyError(f"no rule named {name!r}")
+
+    # -- the hot path ------------------------------------------------------------
+
+    def _handle(self, event: Event) -> None:
+        self.events_processed += 1
+        for rule in self.rules:
+            if not rule.applies_to(event.topic):
+                continue
+            self.rule_evaluations += 1
+            try:
+                fired = rule.evaluate(event)
+            except Exception:
+                # A broken (operator-tuned) rule must never take down the
+                # mediation path it observes — count it and keep going.
+                self.rule_errors[rule.name] = \
+                    self.rule_errors.get(rule.name, 0) + 1
+                continue
+            if fired:
+                self.alerts.append(Alert(
+                    rule=rule.name, priority=rule.priority,
+                    timestamp=event.timestamp, source=event.source,
+                    summary=self._summarize(event)))
+
+    @staticmethod
+    def _summarize(event: Event) -> str:
+        interesting = {k: v for k, v in event.payload.items()
+                       if k in ("syscall", "path", "process", "dst", "user",
+                                "container", "tenant", "op", "actor",
+                                "principal", "verb", "resource")}
+        details = " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+        return f"{event.topic}: {details}"
+
+    # -- analysis -----------------------------------------------------------------
+
+    def alerts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for alert in self.alerts:
+            counts[alert.rule] = counts.get(alert.rule, 0) + 1
+        return counts
+
+    def alerts_at_least(self, priority: Priority) -> List[Alert]:
+        return [a for a in self.alerts if a.priority >= priority]
+
+    def overhead_estimate(self, cost_per_evaluation_us: float = 2.0) -> float:
+        """Estimated CPU microseconds spent evaluating rules so far."""
+        return self.rule_evaluations * cost_per_evaluation_us
+
+    def reset_counters(self) -> None:
+        self.alerts.clear()
+        self.events_processed = 0
+        self.rule_evaluations = 0
+
+
+# ---------------------------------------------------------------------------
+# The default GENIO rule set
+# ---------------------------------------------------------------------------
+
+_SHELLS = ("/bin/sh", "/bin/bash", "/bin/dash", "/usr/bin/zsh")
+_MINERS = ("xmrig", "minerd", "cpuminer")
+_SENSITIVE_READS = ("/etc/shadow", "/root/.ssh/id_rsa", "/etc/kubernetes/pki")
+_EXPECTED_NETWORKS = ("10.", "registry.genio.example")
+
+
+def default_rules() -> List[FalcoRule]:
+    """Detection rules for the behaviours Section VI-B names."""
+    return [
+        FalcoRule(
+            name="shell_in_container",
+            description="a shell was spawned inside a container",
+            topics=("runtime.syscall",),
+            condition=lambda e: (e.get("syscall") in ("execve", "execveat")
+                                 and str(e.get("path", "")) in _SHELLS),
+            priority=Priority.WARNING),
+        FalcoRule(
+            name="write_below_etc",
+            description="write below /etc from a workload",
+            topics=("host.file",),
+            condition=lambda e: (e.get("op") == "write"
+                                 and str(e.get("path", "")).startswith("/etc/")
+                                 and e.get("actor") != "root"),
+            priority=Priority.ERROR),
+        FalcoRule(
+            name="sensitive_file_read",
+            description="read of credential material",
+            topics=("runtime.syscall", "host.syscall"),
+            condition=lambda e: (e.get("syscall") in ("open", "openat", "read")
+                                 and any(str(e.get("path", "")).startswith(p)
+                                         for p in _SENSITIVE_READS)),
+            priority=Priority.CRITICAL),
+        FalcoRule(
+            name="unexpected_outbound",
+            description="outbound connection to an unexpected destination",
+            topics=("runtime.syscall",),
+            condition=lambda e: (e.get("syscall") in ("connect", "sendto")
+                                 and bool(e.get("dst"))
+                                 and not any(str(e.get("dst", "")).startswith(p)
+                                             for p in _EXPECTED_NETWORKS)),
+            priority=Priority.ERROR),
+        FalcoRule(
+            name="privileged_syscall_attempt",
+            description="container attempted a kernel-surface syscall",
+            topics=("runtime.syscall",),
+            condition=lambda e: e.get("syscall") in (
+                "init_module", "finit_module", "kexec_load", "mount",
+                "ptrace", "setns", "pivot_root"),
+            priority=Priority.CRITICAL),
+        FalcoRule(
+            name="cryptominer_exec",
+            description="known miner binary executed",
+            topics=("runtime.syscall", "host.syscall"),
+            condition=lambda e: (e.get("syscall") in ("execve", "execveat")
+                                 and any(m in str(e.get("path", ""))
+                                         for m in _MINERS)),
+            priority=Priority.CRITICAL),
+        FalcoRule(
+            name="failed_login",
+            description="failed interactive login",
+            topics=("host.login",),
+            condition=lambda e: e.get("success") is False,
+            priority=Priority.NOTICE),
+        FalcoRule(
+            name="anonymous_control_plane_write",
+            description="anonymous principal attempted a control-plane write",
+            topics=("kube.audit",),
+            condition=lambda e: ("anonymous" in str(e.get("principal", ""))
+                                 and e.get("verb") in ("create", "update",
+                                                       "patch", "delete")),
+            priority=Priority.CRITICAL),
+    ]

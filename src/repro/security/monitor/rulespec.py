@@ -1,0 +1,115 @@
+"""Declarative Falco rule specifications (the customizable rule set).
+
+Operators tune Falco by editing YAML rules, not Python. This module
+compiles a dict-based rule specification — field predicates combined with
+``all``/``any``/``not`` — into :class:`~repro.security.monitor.falco.FalcoRule`
+objects, including exceptions, so the Lesson 8 tuning loop is data-driven:
+
+    {"rule": "tmp_exec", "desc": "execution from /tmp",
+     "priority": "ERROR", "topics": ["runtime.syscall"],
+     "condition": {"all": [
+         {"field": "syscall", "in": ["execve", "execveat"]},
+         {"field": "path", "startswith": "/tmp/"}]},
+     "exceptions": [{"field": "tenant", "equals": "ops-debug"}]}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import Event
+from repro.security.monitor.falco import FalcoRule, Priority
+
+Predicate = Callable[[Event], bool]
+
+_OPERATORS = ("equals", "in", "startswith", "endswith", "contains",
+              "exists", "gt", "lt")
+
+
+def _compile_leaf(spec: Dict[str, Any]) -> Predicate:
+    field = spec.get("field")
+    if not field:
+        raise ConfigurationError(f"predicate needs a 'field': {spec!r}")
+    present = [op for op in _OPERATORS if op in spec]
+    if len(present) != 1:
+        raise ConfigurationError(
+            f"predicate on {field!r} needs exactly one operator of "
+            f"{_OPERATORS}, got {present}")
+    operator = present[0]
+    expected = spec[operator]
+
+    def predicate(event: Event) -> bool:
+        value = event.get(field)
+        if operator == "exists":
+            return (value is not None) == bool(expected)
+        if value is None:
+            return False
+        if operator == "equals":
+            return value == expected
+        if operator == "in":
+            return value in expected
+        if operator == "startswith":
+            return str(value).startswith(expected)
+        if operator == "endswith":
+            return str(value).endswith(expected)
+        if operator == "contains":
+            return expected in str(value)
+        if operator == "gt":
+            return value > expected
+        return value < expected   # lt
+
+    return predicate
+
+
+def compile_condition(spec: Dict[str, Any]) -> Predicate:
+    """Compile a condition tree into a predicate."""
+    if "all" in spec:
+        children = [compile_condition(child) for child in spec["all"]]
+        return lambda event: all(child(event) for child in children)
+    if "any" in spec:
+        children = [compile_condition(child) for child in spec["any"]]
+        return lambda event: any(child(event) for child in children)
+    if "not" in spec:
+        inner = compile_condition(spec["not"])
+        return lambda event: not inner(event)
+    return _compile_leaf(spec)
+
+
+def compile_rule(spec: Dict[str, Any]) -> FalcoRule:
+    """Compile one rule specification.
+
+    :raises ConfigurationError: missing keys, bad priority, bad predicates.
+    """
+    for key in ("rule", "desc", "topics", "condition"):
+        if key not in spec:
+            raise ConfigurationError(f"rule spec missing {key!r}: {spec!r}")
+    try:
+        priority = Priority[spec.get("priority", "WARNING")]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown priority {spec.get('priority')!r}; "
+            f"use one of {[p.name for p in Priority]}")
+    rule = FalcoRule(
+        name=spec["rule"],
+        description=spec["desc"],
+        topics=tuple(spec["topics"]),
+        condition=compile_condition(spec["condition"]),
+        priority=priority,
+    )
+    for exception_spec in spec.get("exceptions", []):
+        rule.add_exception(compile_condition(exception_spec))
+    return rule
+
+
+def compile_ruleset(specs: Sequence[Dict[str, Any]]) -> List[FalcoRule]:
+    """Compile a whole declarative rule file, rejecting duplicate names."""
+    rules: List[FalcoRule] = []
+    seen = set()
+    for spec in specs:
+        rule = compile_rule(spec)
+        if rule.name in seen:
+            raise ConfigurationError(f"duplicate rule name {rule.name!r}")
+        seen.add(rule.name)
+        rules.append(rule)
+    return rules

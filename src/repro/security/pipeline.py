@@ -1,0 +1,182 @@
+"""The end-to-end security-by-design pipeline.
+
+Applies the paper's mitigations M1-M18, in dependency order, to a
+:class:`~repro.platform.genio.GenioDeployment`, and returns a
+:class:`SecurityPosture` holding every security artifact (channel
+manager, boot provisioner, FIM monitors, scanners, compliance suite,
+monitoring engine) so callers can keep operating them — and so the
+attack/defense experiments can flip individual mitigations on and off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.platform.genio import GenioDeployment
+from repro.security.access.compliance import ComplianceSuite
+from repro.security.access.leastprivilege import (
+    harden_proxmox, harden_sdn_controller, harden_voltha, tighten_cluster,
+)
+from repro.security.appsec.dast import CatsFuzzer, NmapScanner
+from repro.security.appsec.sast import SastEngine
+from repro.security.appsec.sca import ScaScanner
+from repro.security.comms.channels import SecureChannelManager
+from repro.security.hardening.remediate import HardeningSummary, harden_host
+from repro.security.integrity.fim import FileIntegrityMonitor
+from repro.security.integrity.secureboot import SecureBootProvisioner
+from repro.security.integrity.securestorage import (
+    StorageProvisioningResult, provision_secure_storage,
+)
+from repro.security.malware.yara import YaraScanner, make_admission_hook
+from repro.security.monitor.falco import FalcoEngine
+from repro.security.sandbox.lsm import default_tenant_policy, install_policy
+from repro.security.vulnmgmt.corpus import build_cve_corpus
+from repro.security.vulnmgmt.cvedb import CveDatabase
+from repro.security.vulnmgmt.feeds import FeedAggregator, genio_feed_landscape
+from repro.security.vulnmgmt.hostscan import HostScanner
+from repro.security.vulnmgmt.kbom import generate_kbom
+
+
+@dataclass
+class SecurityPosture:
+    """Everything the pipeline built, plus per-step outcomes."""
+
+    deployment: GenioDeployment
+    hardening: Dict[str, HardeningSummary] = field(default_factory=dict)
+    channels: Optional[SecureChannelManager] = None
+    boot: Optional[SecureBootProvisioner] = None
+    storage: Dict[str, StorageProvisioningResult] = field(default_factory=dict)
+    fim: Dict[str, FileIntegrityMonitor] = field(default_factory=dict)
+    cvedb: Optional[CveDatabase] = None
+    host_scanner: Optional[HostScanner] = None
+    patches_applied: Dict[str, int] = field(default_factory=dict)
+    feeds: Optional[FeedAggregator] = None
+    compliance: Optional[ComplianceSuite] = None
+    sca: Optional[ScaScanner] = None
+    sast: Optional[SastEngine] = None
+    fuzzer: Optional[CatsFuzzer] = None
+    port_scanner: Optional[NmapScanner] = None
+    malware_scanner: Optional[YaraScanner] = None
+    falco: Optional[FalcoEngine] = None
+    steps_completed: List[str] = field(default_factory=list)
+
+
+class SecurityPipeline:
+    """Runs the M1-M18 programme over a deployment."""
+
+    def __init__(self, deployment: GenioDeployment,
+                 cvedb: Optional[CveDatabase] = None,
+                 patch_budget_per_host: int = 50,
+                 force_clevis_install: bool = False) -> None:
+        self.deployment = deployment
+        self.cvedb = cvedb or build_cve_corpus()
+        self.patch_budget_per_host = patch_budget_per_host
+        self.force_clevis_install = force_clevis_install
+
+    def apply(self) -> SecurityPosture:
+        posture = SecurityPosture(deployment=self.deployment, cvedb=self.cvedb)
+        self._apply_hardening(posture)            # M1, M2
+        self._apply_comms(posture)                # M3, M4
+        self._apply_integrity(posture)            # M5, M6, M7
+        self._apply_vuln_management(posture)      # M8, M9(policy), M12
+        self._apply_access_control(posture)       # M10, M11
+        self._apply_appsec(posture)               # M13, M14, M15
+        self._apply_runtime_security(posture)     # M16, M17, M18
+        return posture
+
+    # -- M1/M2 --------------------------------------------------------------------
+
+    def _apply_hardening(self, posture: SecurityPosture) -> None:
+        for host in self.deployment.all_hosts():
+            posture.hardening[host.hostname] = harden_host(host)
+        posture.steps_completed.append("M1/M2 hardening")
+
+    # -- M3/M4 ----------------------------------------------------------------------
+
+    def _apply_comms(self, posture: SecurityPosture) -> None:
+        manager = SecureChannelManager()
+        for olt_node in self.deployment.olts:
+            pon = olt_node.pon
+            manager.secure_pon(pon)
+            for serial in sorted(self.deployment.onus):
+                onu = self.deployment.onus[serial]
+                if onu.serial in pon.olt.provisioned_serials:
+                    manager.enroll_onu(onu)
+                    manager.activate_onu_securely(pon, onu)
+            manager.enroll(olt_node.name)
+        manager.enroll(self.deployment.cloud_node.hostname)
+        for olt_node in self.deployment.olts:
+            manager.secure_link(f"uplink-{olt_node.name}", olt_node.name,
+                                self.deployment.cloud_node.hostname)
+        # Inter-OLT links (the paper's T1 names them explicitly).
+        olt_names = [olt.name for olt in self.deployment.olts]
+        for a, b in zip(olt_names, olt_names[1:]):
+            manager.secure_link(f"interolt-{a}--{b}", a, b)
+        posture.channels = manager
+        posture.steps_completed.append("M3/M4 communication security")
+
+    # -- M5/M6/M7 ----------------------------------------------------------------------
+
+    def _apply_integrity(self, posture: SecurityPosture) -> None:
+        provisioner = SecureBootProvisioner()
+        for host in self.deployment.all_hosts():
+            provisioner.provision(host)
+            provisioner.record_golden_state(host)
+            posture.storage[host.hostname] = provision_secure_storage(
+                host, force_install=self.force_clevis_install)
+            monitor = FileIntegrityMonitor(host)
+            monitor.baseline()
+            posture.fim[host.hostname] = monitor
+        posture.boot = provisioner
+        posture.steps_completed.append("M5/M6/M7 integrity")
+
+    # -- M8/M9/M12 ----------------------------------------------------------------------
+
+    def _apply_vuln_management(self, posture: SecurityPosture) -> None:
+        scanner = HostScanner(self.cvedb)
+        for host in self.deployment.all_hosts():
+            host.require_signed_apt()     # the M9 APT policy
+            applied, _ = scanner.patch_prioritized(
+                host, budget=self.patch_budget_per_host)
+            posture.patches_applied[host.hostname] = applied
+        for olt_node in self.deployment.olts:
+            olt_node.hypervisor.patch("CVE-2019-14378")
+        posture.host_scanner = scanner
+        posture.feeds = genio_feed_landscape()
+        posture.steps_completed.append("M8/M9/M12 vulnerability management")
+
+    # -- M10/M11 -----------------------------------------------------------------------
+
+    def _apply_access_control(self, posture: SecurityPosture) -> None:
+        deployment = self.deployment
+        tighten_cluster(deployment.cloud_cluster)
+        harden_sdn_controller(deployment.sdn)
+        harden_voltha(deployment.voltha)
+        harden_proxmox(deployment.proxmox)
+        posture.compliance = ComplianceSuite(
+            deployment.cloud_cluster,
+            runtimes=[vm.runtime for vm in deployment.worker_vms()])
+        posture.steps_completed.append("M10/M11 access control & compliance")
+
+    # -- M13/M14/M15 ---------------------------------------------------------------------
+
+    def _apply_appsec(self, posture: SecurityPosture) -> None:
+        posture.sca = ScaScanner(self.cvedb)
+        posture.sast = SastEngine()
+        posture.fuzzer = CatsFuzzer()
+        posture.port_scanner = NmapScanner()
+        posture.steps_completed.append("M13/M14/M15 application security")
+
+    # -- M16/M17/M18 ----------------------------------------------------------------------
+
+    def _apply_runtime_security(self, posture: SecurityPosture) -> None:
+        scanner = YaraScanner()
+        posture.malware_scanner = scanner
+        for vm in self.deployment.worker_vms():
+            vm.runtime.add_admission_hook(make_admission_hook(scanner))
+            install_policy(vm.runtime, default_tenant_policy("tenant-*"))
+        engine = FalcoEngine()
+        engine.attach(self.deployment.bus)
+        posture.falco = engine
+        posture.steps_completed.append("M16/M17/M18 runtime security")

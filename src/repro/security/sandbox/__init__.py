@@ -1,0 +1,18 @@
+"""M17: isolation and sandboxing (KubeArmor-style LSM policies + PEACH)."""
+
+from repro.security.sandbox.lsm import (
+    KubeArmorPolicy, PolicyAction, default_tenant_policy, install_policy,
+)
+from repro.security.sandbox.peach import (
+    PeachAssessment, TenancyConfig, peach_score,
+)
+
+__all__ = [
+    "KubeArmorPolicy",
+    "PolicyAction",
+    "default_tenant_policy",
+    "install_policy",
+    "PeachAssessment",
+    "TenancyConfig",
+    "peach_score",
+]

@@ -1,0 +1,24 @@
+"""STRIDE threat modeling for GENIO (Section III of the paper)."""
+
+from repro.security.threatmodel.stride import (
+    Asset, Layer, Stride, Threat, ThreatModel, RiskLevel,
+)
+from repro.security.threatmodel.catalog import (
+    GENIO_THREATS, GENIO_MITIGATIONS, Mitigation, build_genio_threat_model,
+)
+from repro.security.threatmodel.matrix import coverage_matrix, render_matrix
+
+__all__ = [
+    "Asset",
+    "Layer",
+    "Stride",
+    "Threat",
+    "ThreatModel",
+    "RiskLevel",
+    "GENIO_THREATS",
+    "GENIO_MITIGATIONS",
+    "Mitigation",
+    "build_genio_threat_model",
+    "coverage_matrix",
+    "render_matrix",
+]

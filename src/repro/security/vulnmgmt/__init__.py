@@ -1,0 +1,44 @@
+"""M8/M12: vulnerability management (Sections IV-D and V-B of the paper).
+
+* :mod:`repro.security.vulnmgmt.cvedb` — CVE records with CVSS scoring
+  and affected-version ranges; the offline stand-in for NVD data.
+* :mod:`repro.security.vulnmgmt.corpus` — the synthetic-but-realistic
+  CVE corpus used by scanners and experiments.
+* :mod:`repro.security.vulnmgmt.hostscan` — the Vuls/Lynis-like host
+  scanner matching installed packages and the kernel against the corpus,
+  with prioritisation by severity and exploitability (M8).
+* :mod:`repro.security.vulnmgmt.feeds` — the fragmented middleware feed
+  landscape (structured Kubernetes feed, blog posts, web-UI-only,
+  NVD API) and the time-to-awareness model behind Lesson 6 (M12).
+* :mod:`repro.security.vulnmgmt.kbom` — the Kubernetes Bill of Materials
+  generator and precision matching (M12).
+"""
+
+from repro.security.vulnmgmt.cvedb import CveDatabase, CveRecord, Severity
+from repro.security.vulnmgmt.corpus import build_cve_corpus
+from repro.security.vulnmgmt.hostscan import HostScanner, ScanFinding, ScanReport
+from repro.security.vulnmgmt.feeds import (
+    BlogFeed, FeedAggregator, NvdApiFeed, StaleFeed, StructuredFeed, WebUiFeed,
+    genio_feed_landscape,
+)
+from repro.security.vulnmgmt.kbom import KbomComponent, generate_kbom, match_kbom
+
+__all__ = [
+    "CveDatabase",
+    "CveRecord",
+    "Severity",
+    "build_cve_corpus",
+    "HostScanner",
+    "ScanFinding",
+    "ScanReport",
+    "BlogFeed",
+    "FeedAggregator",
+    "NvdApiFeed",
+    "StaleFeed",
+    "StructuredFeed",
+    "WebUiFeed",
+    "genio_feed_landscape",
+    "KbomComponent",
+    "generate_kbom",
+    "match_kbom",
+]

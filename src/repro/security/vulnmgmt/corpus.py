@@ -1,0 +1,131 @@
+"""The synthetic CVE corpus.
+
+Offline stand-in for NVD/vendor data: real CVE identifiers with
+plausible affected ranges for the package versions the host presets and
+cluster components carry. Versions in :mod:`repro.osmodel.presets` were
+chosen so the stock ONL host is genuinely vulnerable and the patched
+versions genuinely are not — giving the scanners real positives and real
+negatives to be measured against (E8 precision/recall).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.security.vulnmgmt.cvedb import CveDatabase, CveRecord
+
+_DAY = 86400.0
+
+
+def build_cve_corpus() -> CveDatabase:
+    """The full corpus: host packages, kernel, hypervisor, middleware, pypi."""
+    records: List[CveRecord] = [
+        # -- ONL / Debian 10 userspace ------------------------------------------
+        CveRecord("CVE-2021-3712", "openssl", "debian", "1.1.1", "1.1.1l",
+                  7.4, "read buffer overruns in X.509 processing",
+                  exploit_available=False, published_at=10 * _DAY),
+        CveRecord("CVE-2022-0778", "openssl", "debian", "1.0.2", "1.1.1n",
+                  7.5, "BN_mod_sqrt infinite loop DoS",
+                  exploit_available=True, published_at=40 * _DAY),
+        CveRecord("CVE-2020-14145", "openssh-server", "debian", "5.7", "8.4p1",
+                  5.9, "observable discrepancy in client",
+                  published_at=5 * _DAY),
+        CveRecord("CVE-2021-3156", "sudo", "debian", "1.8.2", "1.9.5p2",
+                  7.8, "Baron Samedit heap overflow -> root",
+                  exploit_available=True, published_at=15 * _DAY),
+        CveRecord("CVE-2019-18276", "bash", "debian", "1.0", "5.1",
+                  7.8, "setuid privilege retention",
+                  published_at=2 * _DAY),
+        CveRecord("CVE-2021-33910", "systemd", "debian", "220", "249",
+                  5.5, "stack exhaustion in mount handling",
+                  exploit_available=True, published_at=25 * _DAY),
+        CveRecord("CVE-2021-22946", "curl", "debian", "7.20.0", "7.79.0",
+                  7.5, "protocol downgrade leaks credentials",
+                  published_at=30 * _DAY),
+        CveRecord("CVE-2023-4911", "libc6", "debian", "2.23", "2.39",
+                  7.8, "Looney Tunables ld.so buffer overflow",
+                  exploit_available=True, published_at=55 * _DAY),
+        CveRecord("CVE-2020-15778", "openssh-server", "debian", "5.7", "8.4p1",
+                  7.8, "scp command injection", exploit_available=True,
+                  published_at=8 * _DAY),
+        CveRecord("CVE-2019-5736", "busybox", "debian", "1.0", "1.31.0",
+                  6.5, "applet path traversal (modelled)",
+                  published_at=3 * _DAY),
+        CveRecord("CVE-2020-11868", "ntp", "debian", "4.2.0", "4.2.8p14",
+                  7.5, "unauthenticated peer DoS", published_at=12 * _DAY),
+        # telnet/tftp: ancient, permanently vulnerable
+        CveRecord("CVE-2020-10188", "telnetd", "debian", None, None,
+                  9.8, "remote code execution in telnetd",
+                  exploit_available=True, published_at=1 * _DAY),
+        CveRecord("CVE-2020-8903", "tftpd-hpa", "debian", None, "5.3",
+                  8.1, "unauthenticated file write", published_at=6 * _DAY),
+        CveRecord("CVE-2021-36368", "openvswitch-switch", "debian",
+                  "2.0", "2.13.0", 6.5, "flow table poisoning (modelled)",
+                  published_at=20 * _DAY),
+        # -- kernel -------------------------------------------------------------------
+        CveRecord("CVE-2022-0847", "linux-kernel", "kernel", "5.8", "5.16.11",
+                  7.8, "Dirty Pipe page-cache overwrite",
+                  exploit_available=True, published_at=45 * _DAY),
+        CveRecord("CVE-2021-33909", "linux-kernel", "kernel", "3.16", "5.13.4",
+                  7.8, "Sequoia size_t-to-int conversion -> root",
+                  exploit_available=True, published_at=22 * _DAY),
+        CveRecord("CVE-2019-11477", "linux-kernel", "kernel", "2.6.29", "5.1.11",
+                  7.5, "SACK Panic remote DoS", exploit_available=True,
+                  published_at=4 * _DAY),
+        # -- hypervisor ----------------------------------------------------------------
+        CveRecord("CVE-2019-14378", "qemu-kvm", "middleware", "2.0", "4.1.1",
+                  8.8, "SLIRP heap overflow: guest-to-host escape",
+                  exploit_available=True, published_at=7 * _DAY),
+        # -- Kubernetes (the structured-feed ecosystem) -----------------------------------
+        CveRecord("CVE-2022-3172", "kube-apiserver", "k8s", "1.6", "1.24.5",
+                  8.2, "aggregated API server redirect",
+                  published_at=50 * _DAY),
+        CveRecord("CVE-2021-25741", "kubelet", "k8s", "1.19", "1.22.2",
+                  8.1, "symlink exchange host filesystem access",
+                  exploit_available=True, published_at=28 * _DAY),
+        CveRecord("CVE-2020-8558", "kube-proxy", "k8s", "1.1", "1.18.4",
+                  5.4, "node-local services reachable from adjacent hosts",
+                  published_at=9 * _DAY),
+        CveRecord("CVE-2021-30465", "containerd", "middleware", "1.0", "1.4.5",
+                  8.5, "runc mount-race container escape (modelled)",
+                  exploit_available=True, published_at=18 * _DAY),
+        CveRecord("CVE-2022-23648", "containerd", "middleware", "1.0", "1.6.1",
+                  7.5, "image volume path traversal",
+                  published_at=42 * _DAY),
+        CveRecord("CVE-2021-20291", "coredns", "k8s", "1.0", "1.8.4",
+                  6.5, "cache poisoning (modelled)", published_at=16 * _DAY),
+        # -- Proxmox / ONOS (UI-only / stale feeds) ----------------------------------------
+        CveRecord("CVE-2022-35508", "proxmox-ve", "middleware", "6.0", "7.2-5",
+                  8.8, "TOTP brute force in proxmox login",
+                  published_at=48 * _DAY),
+        CveRecord("CVE-2021-38363", "onos", "middleware", "1.0", "2.8.0",
+                  6.5, "REST API improper authorization (modelled)",
+                  published_at=26 * _DAY),
+        CveRecord("CVE-2019-16300", "onos", "middleware", "1.0", "2.3.0",
+                  9.8, "deserialization RCE in ONOS northbound",
+                  exploit_available=True, published_at=5 * _DAY),
+        # -- python/pypi application deps (SCA surface) --------------------------------------
+        CveRecord("CVE-2021-33503", "urllib3", "pypi", "1.0", "1.26.5",
+                  7.5, "catastrophic regex in proxy handling",
+                  published_at=21 * _DAY),
+        CveRecord("CVE-2022-23833", "django", "pypi", "2.2", "3.2.12",
+                  7.5, "multipart parsing infinite loop",
+                  published_at=41 * _DAY),
+        CveRecord("CVE-2021-23727", "celery", "pypi", "1.0", "5.2.2",
+                  7.5, "pickle deserialization in result backend",
+                  exploit_available=True, published_at=33 * _DAY),
+        CveRecord("CVE-2019-14234", "django", "pypi", "2.0", "2.2.4",
+                  9.8, "SQL injection via JSONField key transform",
+                  exploit_available=True, published_at=2 * _DAY),
+        CveRecord("CVE-2020-28493", "jinja2", "pypi", "0.0", "2.11.3",
+                  5.3, "ReDoS in urlize", published_at=14 * _DAY),
+        CveRecord("CVE-2022-21699", "ipython", "pypi", "1.0", "7.31.1",
+                  8.8, "cwd profile execution", published_at=39 * _DAY),
+        CveRecord("CVE-2021-29921", "python3", "debian", "3.0", "3.9.5",
+                  9.8, "ipaddress leading-zero parsing bypass",
+                  published_at=19 * _DAY),
+        CveRecord("CVE-2021-3177", "python3", "debian", "3.0", "3.8.8",
+                  9.8, "ctypes buffer overflow", exploit_available=True,
+                  published_at=11 * _DAY),
+    ]
+    return CveDatabase(records)

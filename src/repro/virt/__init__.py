@@ -1,0 +1,29 @@
+"""Virtualization substrate: hypervisor, VMs, container runtime, images.
+
+GENIO runs edge applications in either *hard isolation* (dedicated VMs
+under Linux/KVM) or *soft isolation* (containers and network namespaces
+inside shared VMs). This package models both, plus the container image
+format that the application-security tooling (M13 SCA, M16 malware
+scanning) inspects and the capability/syscall surface that sandboxing
+(M17) and runtime monitoring (M18) police.
+"""
+
+from repro.virt.image import ContainerImage, ImageLayer, ImagePackage
+from repro.virt.container import Container, ContainerSpec, ResourceLimits
+from repro.virt.runtime import ContainerRuntime, RuntimeConfig
+from repro.virt.vm import VirtualMachine, VmSpec
+from repro.virt.hypervisor import Hypervisor
+
+__all__ = [
+    "ContainerImage",
+    "ImageLayer",
+    "ImagePackage",
+    "Container",
+    "ContainerSpec",
+    "ResourceLimits",
+    "ContainerRuntime",
+    "RuntimeConfig",
+    "VirtualMachine",
+    "VmSpec",
+    "Hypervisor",
+]

@@ -1,0 +1,91 @@
+"""Container images: layers, file contents, package manifests.
+
+This is the artifact the GENIO public registry distributes and the
+application-security pipeline inspects:
+
+* the Trivy-like SCA scanner (M13) reads :attr:`ContainerImage.packages`;
+* the Crane-like extractor + SAST engines (M14) read layer *files*
+  (including real Python source the Bandit-like analyzer parses);
+* the YaraHunter-like malware scanner (M16) pattern-matches layer bytes;
+* the docker-bench-like checks (M13) audit image configuration (user,
+  exposed ports, secrets in env).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common import crypto
+
+
+@dataclass(frozen=True)
+class ImagePackage:
+    """One package the image's filesystem carries (the SCA surface)."""
+
+    name: str
+    version: str
+    ecosystem: str = "debian"   # debian | pypi | npm | maven
+    imported: bool = True       # False = present but never imported (Lesson 7 noise)
+
+
+@dataclass
+class ImageLayer:
+    """One filesystem layer: path -> content."""
+
+    files: Dict[str, bytes] = field(default_factory=dict)
+    created_by: str = ""
+
+    def digest(self) -> str:
+        material = b"|".join(
+            path.encode() + b"\x00" + content
+            for path, content in sorted(self.files.items())
+        )
+        return crypto.sha256_hex(material + self.created_by.encode())
+
+
+@dataclass
+class ContainerImage:
+    """An OCI-ish container image."""
+
+    name: str
+    tag: str = "latest"
+    layers: List[ImageLayer] = field(default_factory=list)
+    packages: List[ImagePackage] = field(default_factory=list)
+    env: Dict[str, str] = field(default_factory=dict)
+    entrypoint: str = "/app/main"
+    user: str = "root"                    # docker-bench flags running as root
+    exposed_ports: Tuple[int, ...] = ()
+    labels: Dict[str, str] = field(default_factory=dict)
+    openapi_spec: Optional[dict] = None   # REST surface for the CATS-like fuzzer
+    provenance: str = "unknown"           # "genio-registry" | "external" | "unknown"
+
+    def digest(self) -> str:
+        material = ":".join([self.name, self.tag] + [l.digest() for l in self.layers])
+        return crypto.sha256_hex(material.encode())
+
+    @property
+    def reference(self) -> str:
+        return f"{self.name}:{self.tag}"
+
+    # -- filesystem view (what Crane extraction yields) -------------------------
+
+    def merged_files(self) -> Dict[str, bytes]:
+        """Upper layers shadow lower ones, as in an overlay filesystem."""
+        merged: Dict[str, bytes] = {}
+        for layer in self.layers:
+            merged.update(layer.files)
+        return merged
+
+    def files_matching(self, suffix: str) -> Dict[str, bytes]:
+        return {p: c for p, c in self.merged_files().items() if p.endswith(suffix)}
+
+    def add_layer(self, files: Dict[str, bytes], created_by: str = "") -> ImageLayer:
+        layer = ImageLayer(files=dict(files), created_by=created_by)
+        self.layers.append(layer)
+        return layer
+
+    def env_secrets(self) -> List[str]:
+        """Env vars that look like embedded credentials."""
+        markers = ("PASSWORD", "SECRET", "TOKEN", "API_KEY", "PRIVATE_KEY")
+        return [k for k in self.env if any(m in k.upper() for m in markers)]

@@ -1,0 +1,161 @@
+"""Unit tests for M13/M14/M15 application security."""
+
+import pytest
+
+from repro.osmodel.presets import stock_onl_olt_host
+from repro.platform.workloads import (
+    iot_analytics_image, legacy_java_billing_image, malicious_miner_image,
+    ml_inference_image, vulnerable_webapp_image,
+)
+from repro.security.appsec import (
+    CatsFuzzer, NmapScanner, RestService, SastEngine, ScaScanner,
+)
+from repro.security.appsec.sca import ScaReport
+from repro.security.vulnmgmt.corpus import build_cve_corpus
+from repro.security.vulnmgmt.cvedb import Severity
+
+
+@pytest.fixture
+def sca():
+    return ScaScanner(build_cve_corpus())
+
+
+@pytest.fixture
+def sast():
+    return SastEngine()
+
+
+class TestSca:
+    def test_clean_image_is_clean(self, sca):
+        report = sca.scan(ml_inference_image())
+        assert report.findings == []
+        assert ScaScanner.gate(report)
+
+    def test_vulnerable_webapp_flagged(self, sca):
+        report = sca.scan(vulnerable_webapp_image())
+        assert report.findings
+        cves = {f.cve.cve_id for f in report.findings}
+        assert "CVE-2019-14234" in cves   # django 2.2.0 SQLi
+        assert not ScaScanner.gate(report)
+
+    def test_lesson7_noise_on_unused_dependencies(self, sca):
+        report = sca.scan(iot_analytics_image())
+        assert report.noise                      # unused deps still flagged
+        assert report.noise_rate > 0.5           # most findings are noise
+        assert report.actionable                 # but real ones exist too
+        noisy_packages = {f.package.name for f in report.noise}
+        assert "django" in noisy_packages        # present, never imported
+
+    def test_gate_blocks_on_noise_too(self, sca):
+        """The tool cannot see reachability, so noise blocks publishes."""
+        report = sca.scan(iot_analytics_image())
+        assert not ScaScanner.gate(report)
+
+    def test_severity_histogram(self, sca):
+        report = sca.scan(vulnerable_webapp_image())
+        histogram = report.by_severity()
+        assert histogram[Severity.CRITICAL] >= 1
+
+
+class TestSast:
+    def test_vulnerable_webapp_findings(self, sast):
+        report = sast.scan_image(vulnerable_webapp_image())
+        rules = set(report.rule_ids())
+        assert "B105" in rules    # hardcoded credential
+        assert "B608" in rules    # SQL string building
+        assert "B602" in rules    # shell=True
+        assert "B301" in rules    # pickle
+        assert "B303" in rules    # md5
+        assert "B605" in rules    # os.system injection
+        assert "SG-TLS-01" in rules
+        assert "SG-HTTP-01" in rules
+        assert "SG-DEBUG-01" in rules
+
+    def test_findings_have_real_lines(self, sast):
+        report = sast.scan_image(vulnerable_webapp_image())
+        sqli = [f for f in report.findings if f.rule_id == "B608"]
+        assert sqli and sqli[0].line > 0
+        assert sqli[0].path == "/app/views.py"
+
+    def test_clean_image_has_no_security_findings(self, sast):
+        report = sast.scan_image(ml_inference_image())
+        assert report.security_findings == []
+
+    def test_java_rules(self, sast):
+        report = sast.scan_image(legacy_java_billing_image())
+        rules = set(report.rule_ids())
+        assert {"SB-CMD-01", "SB-HASH-01", "SB-SQL-01"} <= rules
+
+    def test_parse_error_is_reported_not_fatal(self, sast):
+        from repro.security.appsec.sast import SastReport
+        report = SastReport(target="t")
+        sast.scan_source("/app/broken.py", "def broken(:\n", report)
+        assert report.parse_errors
+
+    def test_quality_vs_security_separation(self, sast):
+        from repro.security.appsec.sast import SastReport
+        report = SastReport(target="t")
+        sast.scan_source("/app/q.py",
+                         "def f(x=[]):\n"
+                         "    try:\n"
+                         "        return x\n"
+                         "    except:\n"
+                         "        pass\n", report)
+        assert {f.rule_id for f in report.quality_findings} == {"W0102", "W0702"}
+        assert report.security_findings == []
+
+    def test_safe_yaml_not_flagged(self, sast):
+        from repro.security.appsec.sast import SastReport
+        report = SastReport(target="t")
+        sast.scan_source("/app/a.py",
+                         "import yaml\n"
+                         "data = yaml.load(s, Loader=yaml.SafeLoader)\n",
+                         report)
+        assert not any(f.rule_id == "B506" for f in report.findings)
+        sast.scan_source("/app/b.py",
+                         "import yaml\ndata = yaml.load(s)\n", report)
+        assert any(f.rule_id == "B506" for f in report.findings)
+
+
+class TestDast:
+    def test_fuzzer_finds_seeded_defects(self):
+        report = CatsFuzzer().fuzz_image(vulnerable_webapp_image())
+        kinds = {f.kind for f in report.findings}
+        assert "server-error" in kinds        # SQLi stack trace
+        assert "auth-bypass" in kinds         # /admin/export without token
+        assert "reflected-content" in kinds   # XSS on /search
+        assert report.requests_sent > 20
+
+    def test_clean_service_survives_fuzzing(self):
+        report = CatsFuzzer().fuzz_image(ml_inference_image())
+        assert report.findings == []
+        assert report.fuzzable
+
+    def test_non_rest_image_is_unfuzzable(self):
+        report = CatsFuzzer().fuzz_image(malicious_miner_image())
+        assert not report.fuzzable
+        assert "not fuzzable" in report.note
+
+    def test_type_confusion_found(self):
+        report = CatsFuzzer().fuzz_image(iot_analytics_image())
+        families = {f.payload_family for f in report.findings}
+        assert "non-numeric" in families or "empty" in families
+
+    def test_rest_service_unknown_path_404(self):
+        service = RestService("s", spec={"paths": {}})
+        assert service.call("GET", "/nope", {}).status == 404
+
+
+class TestNmap:
+    def test_stock_host_has_unexpected_ports_and_no_tls(self):
+        report = NmapScanner().scan(stock_onl_olt_host())
+        unexpected = {f.port for f in report.unexpected_open}
+        assert {23, 69, 80} <= unexpected      # telnet, tftp, plaintext http
+        assert any(f.port == 22 for f in report.findings)
+
+    def test_hardened_host_is_quiet(self):
+        from repro.security.hardening import harden_host
+        host = stock_onl_olt_host()
+        harden_host(host)
+        report = NmapScanner(allowed_ports=(22, 443, 6443, 161, 6640)).scan(host)
+        assert {f.port for f in report.unexpected_open} == set()

@@ -1,0 +1,234 @@
+"""Integration tests: every T2-T8 attack, with mitigations off and on.
+
+(T1's off/on pairs live in tests/test_comms.py next to M3/M4.)
+This is the test-level counterpart of the E4 attack/defense matrix.
+"""
+
+import pytest
+
+from repro.attacks import (
+    AnonymousApiAttack, BinaryImplantAttack, BootKitAttack,
+    CapabilityAbuseAttack, DefaultCredentialAttack, HypervisorEscapeAttack,
+    KernelExploitAttack, MaliciousImageAttack, MaliciousUpdateAttack,
+    PrivilegeEscalationAttack, ResourceAbuseAttack, TokenAbuseAttack,
+    VulnerableAppExploit,
+)
+from repro.orchestrator.kube.cluster import KubeCluster
+from repro.orchestrator.kube.rbac import Subject, permissive_default_rbac
+from repro.osmodel.presets import stock_onl_olt_host
+from repro.platform.workloads import (
+    malicious_miner_image, ml_inference_image, vulnerable_webapp_image,
+)
+from repro.sdn.controller import SdnController
+from repro.security.access.leastprivilege import (
+    genio_least_privilege_rbac, harden_sdn_controller, tighten_cluster,
+)
+from repro.security.comms.pki import CertificateAuthority
+from repro.security.hardening import harden_host
+from repro.security.integrity.fim import FileIntegrityMonitor
+from repro.security.integrity.secureboot import SecureBootProvisioner
+from repro.security.malware import make_admission_hook
+from repro.security.sandbox import default_tenant_policy, install_policy
+from repro.security.updates import OnieImage, OnieInstaller, sign_onie_image
+from repro.security.vulnmgmt.corpus import build_cve_corpus
+from repro.security.vulnmgmt.hostscan import HostScanner
+from repro.virt.container import ContainerSpec, ResourceLimits
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.runtime import ContainerRuntime
+from repro.virt.vm import VmSpec
+
+
+class TestT2CodeTampering:
+    def test_bootkit_succeeds_without_m5(self):
+        host = stock_onl_olt_host()
+        from repro.osmodel.boot import BootComponent, BootStage
+        for stage, image in [(BootStage.SHIM, b"shim"), (BootStage.GRUB, b"grub"),
+                             (BootStage.KERNEL, b"vmlinuz")]:
+            host.boot_chain.install(BootComponent(stage, image))
+        assert BootKitAttack(host).run().succeeded
+
+    def test_bootkit_blocked_by_secure_boot(self):
+        host = stock_onl_olt_host()
+        provisioner = SecureBootProvisioner()
+        provisioner.provision(host)
+        provisioner.record_golden_state(host)
+        result = BootKitAttack(host, provisioner).run()
+        assert not result.succeeded
+        assert "Secure Boot" in result.detail
+
+    def test_bootkit_caught_by_attestation_when_verification_off(self):
+        host = stock_onl_olt_host()
+        provisioner = SecureBootProvisioner()
+        provisioner.provision(host)
+        provisioner.record_golden_state(host)
+        host.firmware.secure_boot = False
+        result = BootKitAttack(host, provisioner).run()
+        assert not result.succeeded
+        assert "attestation" in result.detail
+
+    def test_implant_succeeds_without_fim(self):
+        assert BinaryImplantAttack(stock_onl_olt_host()).run().succeeded
+
+    def test_implant_detected_by_fim(self):
+        host = stock_onl_olt_host()
+        fim = FileIntegrityMonitor(host)
+        fim.baseline()
+        result = BinaryImplantAttack(host, fim).run()
+        assert not result.succeeded and "FIM alerted" in result.detail
+
+    def test_implant_blocked_by_immutable_bit(self):
+        host = stock_onl_olt_host()
+        host.fs.set_immutable("/usr/bin/sudo")
+        result = BinaryImplantAttack(host).run()
+        assert not result.succeeded and "blocked" in result.detail
+
+    def test_malicious_update_without_and_with_onie(self):
+        ca = CertificateAuthority()
+        signer_kp, signer_cert = ca.enroll_device("genio-release-engineering")
+        legitimate = sign_onie_image(
+            OnieImage("onl", "4.19-p9", payload=b"GOOD-KERNEL"),
+            signer_kp, signer_cert)
+
+        unprotected = stock_onl_olt_host()
+        assert MaliciousUpdateAttack(unprotected, None, legitimate).run().succeeded
+
+        protected = stock_onl_olt_host()
+        installer = OnieInstaller(ca)
+        result = MaliciousUpdateAttack(protected, installer, legitimate).run()
+        assert not result.succeeded and "rejected" in result.detail
+
+
+class TestT3PrivilegeAbuse:
+    def test_escalation_on_stock_host(self):
+        result = PrivilegeEscalationAttack(stock_onl_olt_host()).run()
+        assert result.succeeded
+        assert len(result.evidence) >= 4   # many rungs available
+
+    def test_escalation_blocked_after_hardening(self):
+        host = stock_onl_olt_host()
+        harden_host(host)
+        assert not PrivilegeEscalationAttack(host).run().succeeded
+
+
+class TestT4SoftwareVulnerabilities:
+    def test_kernel_exploit_on_stock_kernel(self):
+        host = stock_onl_olt_host()
+        host.kernel.version = "4.19.0-onl"
+        result = KernelExploitAttack(host, build_cve_corpus()).run()
+        assert result.succeeded   # Sequoia affects 3.16..5.13.4, no hardening
+
+    def test_kernel_exploit_broken_by_hardening(self):
+        host = stock_onl_olt_host()
+        harden_host(host)
+        result = KernelExploitAttack(host, build_cve_corpus()).run()
+        assert not result.succeeded and "hardened" in result.detail
+
+    def test_kernel_exploit_gone_after_kernel_update(self):
+        host = stock_onl_olt_host()
+        host.kernel.version = "5.16.0-onl"   # patched line via ONIE
+        result = KernelExploitAttack(host, build_cve_corpus()).run()
+        assert not result.succeeded and "does not affect" in result.detail
+
+    def test_hypervisor_escape_and_patch(self):
+        hv = Hypervisor("olt-1")
+        hv.mark_unpatched("CVE-2019-14378")
+        vm = hv.create_vm(VmSpec("victim", vcpus=1, memory_mb=1024))
+        assert HypervisorEscapeAttack(hv, vm.id).run().succeeded
+        hv.patch("CVE-2019-14378")
+        assert not HypervisorEscapeAttack(hv, vm.id).run().succeeded
+
+
+class TestT5MiddlewareAbuse:
+    def _cluster(self, permissive: bool) -> KubeCluster:
+        from repro.orchestrator.kube.objects import Namespace
+        rbac = permissive_default_rbac() if permissive \
+            else genio_least_privilege_rbac()
+        cluster = KubeCluster(rbac=rbac)
+        cluster.add_namespace(Namespace("tenant-a"))
+        cluster.add_namespace(Namespace("tenant-b"))
+        cluster.api.register_token(
+            "stolen", Subject("ServiceAccount", "tenant-a:default"))
+        if not permissive:
+            tighten_cluster(cluster)
+            cluster.api.register_token(
+                "stolen", Subject("ServiceAccount", "tenant-a:default"))
+        return cluster
+
+    def test_anonymous_api_abuse(self):
+        assert AnonymousApiAttack(self._cluster(permissive=True)).run().succeeded
+        assert not AnonymousApiAttack(self._cluster(permissive=False)).run().succeeded
+
+    def test_stolen_token_lateral_movement(self):
+        assert TokenAbuseAttack(self._cluster(permissive=True),
+                                "stolen").run().succeeded
+        assert not TokenAbuseAttack(self._cluster(permissive=False),
+                                    "stolen").run().succeeded
+
+    def test_default_credentials(self):
+        stock = SdnController()
+        assert DefaultCredentialAttack(stock).run().succeeded
+        hardened = SdnController()
+        harden_sdn_controller(hardened)
+        assert not DefaultCredentialAttack(hardened).run().succeeded
+
+
+class TestT7VulnerableApps:
+    def test_exploit_seeded_webapp(self):
+        result = VulnerableAppExploit(vulnerable_webapp_image()).run()
+        assert result.succeeded
+        assert any("SQL injection" in e for e in result.evidence)
+        assert any("auth bypass" in e for e in result.evidence)
+
+    def test_clean_app_not_exploitable(self):
+        assert not VulnerableAppExploit(ml_inference_image()).run().succeeded
+
+
+class TestT8MaliciousApps:
+    def test_malicious_image_runs_without_gate(self):
+        runtime = ContainerRuntime("node")
+        assert MaliciousImageAttack(runtime,
+                                    malicious_miner_image()).run().succeeded
+
+    def test_malicious_image_quarantined_with_m16(self):
+        runtime = ContainerRuntime("node")
+        runtime.add_admission_hook(make_admission_hook())
+        result = MaliciousImageAttack(runtime, malicious_miner_image()).run()
+        assert not result.succeeded and "admission gate" in result.detail
+
+    def test_capability_abuse_with_sloppy_spec_no_lsm(self):
+        runtime = ContainerRuntime("node")
+        container = runtime.run(ContainerSpec(
+            image=malicious_miner_image(), privileged=True,
+            tenant="tenant-mallory"))
+        assert CapabilityAbuseAttack(runtime, container).run().succeeded
+        assert container.escaped
+
+    def test_capability_abuse_blocked_by_lsm(self):
+        runtime = ContainerRuntime("node")
+        install_policy(runtime, default_tenant_policy("tenant-*"))
+        container = runtime.run(ContainerSpec(
+            image=malicious_miner_image(), privileged=True,
+            tenant="tenant-mallory"))
+        result = CapabilityAbuseAttack(runtime, container).run()
+        assert not result.succeeded
+        assert any("denied by lsm" in e for e in result.evidence)
+
+    def test_capability_abuse_blocked_by_good_spec(self):
+        runtime = ContainerRuntime("node")
+        container = runtime.run(ContainerSpec(
+            image=malicious_miner_image(), tenant="tenant-mallory",
+            no_new_privileges=True))
+        result = CapabilityAbuseAttack(runtime, container).run()
+        assert not result.succeeded and "no escape vector" in result.detail
+
+    def test_resource_abuse_unlimited_vs_limited(self):
+        free_for_all = ContainerRuntime("node", cpu_capacity=8.0)
+        greedy = free_for_all.run(ContainerSpec(image=malicious_miner_image(),
+                                                tenant="tenant-mallory"))
+        assert ResourceAbuseAttack(free_for_all, greedy).run().succeeded
+
+        limited = ContainerRuntime("node2", cpu_capacity=8.0)
+        confined = limited.run(ContainerSpec(
+            image=malicious_miner_image(), tenant="tenant-mallory",
+            limits=ResourceLimits(cpu_shares=2048, memory_mb=2048)))
+        assert not ResourceAbuseAttack(limited, confined).run().succeeded

@@ -1,0 +1,179 @@
+"""Tests for remote attestation (M5 extension) and incident response
+(M18 -> M17 loop)."""
+
+import pytest
+
+from repro.common import crypto
+from repro.common.errors import QuarantineError
+from repro.osmodel.boot import BootComponent, BootStage
+from repro.osmodel.presets import stock_onl_olt_host
+from repro.platform.workloads import ml_inference_image
+from repro.security.integrity.attestation import (
+    AttestationAgent, AttestationVerifier, Quote,
+)
+from repro.security.integrity.secureboot import SecureBootProvisioner
+from repro.security.monitor import FalcoEngine
+from repro.security.monitor.response import IncidentResponder
+from repro.virt.container import ContainerSpec
+from repro.virt.runtime import ContainerRuntime
+
+
+@pytest.fixture
+def attested_host():
+    host = stock_onl_olt_host()
+    provisioner = SecureBootProvisioner()
+    provisioner.provision(host)
+    provisioner.record_golden_state(host)
+    agent = AttestationAgent(host, seed=5)
+    verifier = AttestationVerifier(provisioner)
+    verifier.register(agent)
+    return host, provisioner, agent, verifier
+
+
+class TestRemoteAttestation:
+    def test_good_boot_attests_remotely(self, attested_host):
+        host, _, agent, verifier = attested_host
+        host.boot()
+        nonce = verifier.challenge()
+        verdict = verifier.verify(agent.quote(nonce), nonce)
+        assert verdict.trusted
+        assert verifier.is_schedulable(host.hostname)
+
+    def test_tampered_boot_quarantines(self, attested_host):
+        host, provisioner, agent, verifier = attested_host
+        host.firmware.secure_boot = False
+        host.boot_chain.install(BootComponent(BootStage.KERNEL, b"bootkit"))
+        host.boot()
+        nonce = verifier.challenge()
+        verdict = verifier.verify(agent.quote(nonce), nonce)
+        assert not verdict.trusted and "diverges" in verdict.reason
+        assert not verifier.is_schedulable(host.hostname)
+
+    def test_recovery_lifts_quarantine(self, attested_host):
+        host, provisioner, agent, verifier = attested_host
+        host.firmware.secure_boot = False
+        host.boot_chain.install(BootComponent(BootStage.KERNEL, b"bootkit"))
+        host.boot()
+        nonce = verifier.challenge()
+        verifier.verify(agent.quote(nonce), nonce)
+        assert not verifier.is_schedulable(host.hostname)
+        # Operator restores the signed kernel and reboots:
+        provisioner.provision(host)
+        host.firmware.secure_boot = True
+        host.boot()
+        nonce = verifier.challenge()
+        assert verifier.verify(agent.quote(nonce), nonce).trusted
+        assert verifier.is_schedulable(host.hostname)
+
+    def test_replayed_quote_rejected(self, attested_host):
+        host, _, agent, verifier = attested_host
+        host.boot()
+        nonce = verifier.challenge()
+        quote = agent.quote(nonce)
+        assert verifier.verify(quote, nonce).trusted
+        verdict = verifier.verify(quote, nonce)   # replay of the same quote
+        assert not verdict.trusted and "replay" in verdict.reason
+
+    def test_stale_nonce_rejected(self, attested_host):
+        host, _, agent, verifier = attested_host
+        host.boot()
+        old_nonce = verifier.challenge()
+        quote = agent.quote(old_nonce)
+        fresh_nonce = verifier.challenge()
+        verdict = verifier.verify(quote, fresh_nonce)
+        assert not verdict.trusted and "nonce mismatch" in verdict.reason
+
+    def test_forged_signature_rejected(self, attested_host):
+        host, _, agent, verifier = attested_host
+        host.boot()
+        nonce = verifier.challenge()
+        quote = agent.quote(nonce)
+        forged = Quote(host=quote.host, nonce=quote.nonce,
+                       pcr_digest=quote.pcr_digest,
+                       signature=crypto.RsaKeyPair.generate(512, seed=9)
+                       .sign(quote.nonce + quote.pcr_digest))
+        assert not verifier.verify(forged, nonce).trusted
+
+    def test_unregistered_node_rejected(self, attested_host):
+        _, _, agent, verifier = attested_host
+        other = stock_onl_olt_host("unknown-node")
+        prov2 = SecureBootProvisioner()
+        prov2.provision(other)
+        prov2.record_golden_state(other)
+        stranger = AttestationAgent(other, seed=6)
+        nonce = verifier.challenge()
+        assert not verifier.verify(stranger.quote(nonce), nonce).trusted
+
+    def test_register_requires_golden_state(self):
+        host = stock_onl_olt_host()
+        provisioner = SecureBootProvisioner()
+        provisioner.provision(host)
+        agent = AttestationAgent(host, seed=7)
+        with pytest.raises(ValueError):
+            AttestationVerifier(provisioner).register(agent)
+
+    def test_agent_requires_tpm(self):
+        from repro.osmodel.host import Host
+        host = Host("no-tpm", with_tpm=False)
+        with pytest.raises(ValueError):
+            AttestationAgent(host)
+
+
+class TestIncidentResponse:
+    @pytest.fixture
+    def responder_setup(self):
+        runtime = ContainerRuntime("node")
+        engine = FalcoEngine()
+        engine.attach(runtime.bus)
+        responder = IncidentResponder(runtime, engine, warning_threshold=3)
+        return runtime, engine, responder
+
+    def test_critical_alert_kills_and_quarantines(self, responder_setup):
+        runtime, _, responder = responder_setup
+        container = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                              tenant="tenant-evil"))
+        runtime.syscall(container.id, "open", path="/etc/shadow")
+        actions = responder.process_new_alerts()
+        assert {a.kind for a in actions} == {"kill", "quarantine-tenant"}
+        assert not container.running
+        with pytest.raises(QuarantineError):
+            runtime.run(ContainerSpec(image=ml_inference_image(),
+                                      tenant="tenant-evil"))
+
+    def test_other_tenants_unaffected(self, responder_setup):
+        runtime, _, responder = responder_setup
+        bad = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                        tenant="tenant-evil"))
+        runtime.syscall(bad.id, "open", path="/etc/shadow")
+        responder.process_new_alerts()
+        good = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                         tenant="tenant-good"))
+        assert good.running
+
+    def test_warning_threshold_escalation(self, responder_setup):
+        runtime, _, responder = responder_setup
+        container = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                              tenant="tenant-a"))
+        for _ in range(2):
+            runtime.syscall(container.id, "execve", path="/bin/sh")
+        responder.process_new_alerts()
+        assert container.running        # below threshold
+        runtime.syscall(container.id, "execve", path="/bin/sh")
+        actions = responder.process_new_alerts()
+        assert any(a.kind == "kill" for a in actions)
+        assert not container.running
+        assert "tenant-a" not in responder.quarantined_tenants  # warnings only
+
+    def test_idempotent_processing(self, responder_setup):
+        runtime, _, responder = responder_setup
+        container = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                              tenant="t"))
+        runtime.syscall(container.id, "open", path="/etc/shadow")
+        first = responder.process_new_alerts()
+        second = responder.process_new_alerts()
+        assert first and second == []   # alerts consumed exactly once
+
+    def test_invalid_threshold(self, responder_setup):
+        runtime, engine, _ = responder_setup
+        with pytest.raises(ValueError):
+            IncidentResponder(runtime, engine, warning_threshold=0)

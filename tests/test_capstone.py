@@ -1,0 +1,90 @@
+"""Capstone integration: one attack story across the whole secured stack.
+
+A single narrative exercised end to end on a pipeline-secured deployment:
+a tenant workload is compromised at runtime, the monitor detects it, the
+responder contains it, the correlator reconstructs the campaign, the
+forensic collector seals the evidence, and the security report still
+renders a coherent posture afterwards.
+"""
+
+import pytest
+
+from repro.orchestrator.kube.objects import PodSpec
+from repro.platform import build_genio_deployment, vulnerable_webapp_image
+from repro.security.monitor import ForensicCollector, IncidentResponder, correlate, triage
+from repro.security.pipeline import SecurityPipeline
+from repro.security.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def story():
+    deployment = build_genio_deployment(n_olts=1, onus_per_olt=2)
+    posture = SecurityPipeline(deployment).apply()
+
+    # Tenant deploys a (passing-enough) workload...
+    pod = deployment.cloud_cluster.schedule(PodSpec(
+        name="storefront", namespace="tenant-a",
+        image=vulnerable_webapp_image(), tenant="tenant-a"))
+    runtime = deployment.cloud_cluster.nodes[pod.node].runtime
+    responder = IncidentResponder(runtime, posture.falco)
+
+    # ...which gets popped: classic post-exploitation sequence.
+    runtime.syscall(pod.container_id, "execve", path="/bin/sh")
+    runtime.syscall(pod.container_id, "open", path="/etc/shadow")
+    responder.process_new_alerts()
+    runtime.syscall(pod.container_id, "connect", dst="203.0.113.9:4444")
+    responder.process_new_alerts()
+    return deployment, posture, pod, runtime, responder
+
+
+class TestAttackStory:
+    def test_monitor_saw_the_whole_sequence(self, story):
+        _, posture, *_ = story
+        fired = posture.falco.alerts_by_rule()
+        assert fired.get("shell_in_container")
+        assert fired.get("sensitive_file_read")
+
+    def test_responder_contained_and_quarantined(self, story):
+        _, _, pod, runtime, responder = story
+        container = runtime.containers[pod.container_id]
+        assert not container.running
+        assert "incident response" in container.kill_reason
+        assert "tenant-a" in responder.quarantined_tenants
+
+    def test_correlation_reconstructs_the_campaign(self, story):
+        _, posture, *_ = story
+        incidents = correlate(posture.falco.alerts)
+        campaign = next(i for i in incidents if i.key == "tenant-a")
+        assert campaign.is_campaign
+        assert "execution" in campaign.stages
+        assert "escalation" in campaign.stages
+        assert campaign in triage(incidents)["respond"]
+
+    def test_forensics_bundle_seals_the_evidence(self, story):
+        deployment, posture, *_ = story
+        incidents = correlate(posture.falco.alerts)
+        campaign = next(i for i in incidents if i.key == "tenant-a")
+        collector = ForensicCollector(deployment.bus)
+        bundle = collector.collect(campaign)
+        collector.verify(bundle)
+        assert bundle.events and bundle.alerts
+        topics = {e["topic"] for e in bundle.events}
+        assert "runtime.syscall" in topics
+
+    def test_platform_still_coherent_afterwards(self, story):
+        deployment, posture, *_ = story
+        # Boot integrity untouched by the app-level incident:
+        for host in deployment.all_hosts():
+            host.boot()
+            assert posture.boot.attest_host(host).trusted
+        # Report renders; the incident doesn't invalidate the posture.
+        report = generate_report(posture)
+        assert "GENIO PLATFORM SECURITY REPORT" in report.render()
+
+    def test_other_tenant_unaffected(self, story):
+        deployment, *_ = story
+        from repro.platform import ml_inference_image
+        pod = deployment.cloud_cluster.schedule(PodSpec(
+            name="innocent", namespace="tenant-b",
+            image=ml_inference_image(), tenant="tenant-b"))
+        assert pod.phase == "Running"

@@ -1,0 +1,125 @@
+"""Unit tests for the simulated cryptography foundation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import crypto
+from repro.common.errors import IntegrityError
+
+KEY = b"k" * 32
+
+
+class TestHashing:
+    def test_sha256_matches_known_vector(self):
+        assert crypto.sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_hmac_differs_by_key(self):
+        assert crypto.hmac_sha256(b"a", b"msg") != crypto.hmac_sha256(b"b", b"msg")
+
+    def test_constant_time_equals(self):
+        assert crypto.constant_time_equals(b"xy", b"xy")
+        assert not crypto.constant_time_equals(b"xy", b"xz")
+
+
+class TestAead:
+    def test_roundtrip(self):
+        blob = crypto.aead_encrypt(KEY, b"hello pon")
+        assert crypto.aead_decrypt(KEY, blob) == b"hello pon"
+
+    def test_wrong_key_rejected(self):
+        blob = crypto.aead_encrypt(KEY, b"secret")
+        with pytest.raises(IntegrityError):
+            crypto.aead_decrypt(b"x" * 32, blob)
+
+    def test_tampered_ciphertext_rejected(self):
+        blob = bytearray(crypto.aead_encrypt(KEY, b"secret payload"))
+        blob[20] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            crypto.aead_decrypt(KEY, bytes(blob))
+
+    def test_associated_data_is_authenticated(self):
+        blob = crypto.aead_encrypt(KEY, b"data", associated_data=b"hdr1")
+        with pytest.raises(IntegrityError):
+            crypto.aead_decrypt(KEY, blob, associated_data=b"hdr2")
+
+    def test_too_short_blob_rejected(self):
+        with pytest.raises(IntegrityError):
+            crypto.aead_decrypt(KEY, b"short")
+
+    def test_empty_plaintext_roundtrip(self):
+        blob = crypto.aead_encrypt(KEY, b"")
+        assert crypto.aead_decrypt(KEY, blob) == b""
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            crypto.aead_encrypt(b"", b"data")
+
+    @given(st.binary(max_size=2048), st.binary(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, plaintext, aad):
+        blob = crypto.aead_encrypt(KEY, plaintext, associated_data=aad)
+        assert crypto.aead_decrypt(KEY, blob, associated_data=aad) == plaintext
+
+    @given(st.binary(min_size=1, max_size=256), st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_any_single_byte_flip_detected(self, plaintext, position):
+        blob = bytearray(crypto.aead_encrypt(KEY, plaintext))
+        blob[position % len(blob)] ^= 0x01
+        with pytest.raises(IntegrityError):
+            crypto.aead_decrypt(KEY, bytes(blob))
+
+
+class TestRsa:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return crypto.RsaKeyPair.generate(bits=512, seed=42)
+
+    def test_sign_verify(self, keypair):
+        sig = keypair.sign(b"onie-image-v2")
+        assert keypair.public.verify(b"onie-image-v2", sig)
+
+    def test_signature_fails_on_other_data(self, keypair):
+        sig = keypair.sign(b"original")
+        assert not keypair.public.verify(b"tampered", sig)
+
+    def test_signature_fails_under_other_key(self, keypair):
+        other = crypto.RsaKeyPair.generate(bits=512, seed=43)
+        sig = keypair.sign(b"payload")
+        assert not other.public.verify(b"payload", sig)
+
+    def test_deterministic_generation(self):
+        a = crypto.RsaKeyPair.generate(bits=256, seed=7)
+        b = crypto.RsaKeyPair.generate(bits=256, seed=7)
+        assert a.public.n == b.public.n
+
+    def test_fingerprint_stable_and_short(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 16
+
+    def test_garbage_signature_rejected(self, keypair):
+        assert not keypair.public.verify(b"data", b"\x00" * 64)
+        assert not keypair.public.verify(b"data", b"\xff" * 200)
+
+    def test_key_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            crypto.RsaKeyPair.generate(bits=64)
+
+
+class TestKeyWrapping:
+    def test_wrap_unwrap_roundtrip(self):
+        keypair = crypto.RsaKeyPair.generate(bits=512, seed=5)
+        secret = crypto.random_key()
+        wrapped, check = crypto.wrap_key(keypair.public, secret)
+        assert crypto.unwrap_key(keypair, wrapped, check, key_len=len(secret)) == secret
+
+    def test_unwrap_with_wrong_key_fails(self):
+        alice = crypto.RsaKeyPair.generate(bits=512, seed=5)
+        mallory = crypto.RsaKeyPair.generate(bits=512, seed=6)
+        secret = crypto.random_key()
+        wrapped, check = crypto.wrap_key(alice.public, secret)
+        with pytest.raises((IntegrityError, OverflowError)):
+            crypto.unwrap_key(mallory, wrapped % mallory.public.n, check,
+                              key_len=len(secret))

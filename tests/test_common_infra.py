@@ -1,0 +1,136 @@
+"""Unit tests for clock, event bus, and id generation."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.events import Event, EventBus
+from repro.common.ids import IdGenerator
+
+
+class TestSimClock:
+    def test_starts_at_epoch(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(2.5)
+        assert clock.now == 2.5
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1)
+
+    def test_timers_fire_in_order(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(5.0, lambda: fired.append(("b", clock.now)))
+        clock.call_at(2.0, lambda: fired.append(("a", clock.now)))
+        clock.advance(10.0)
+        assert fired == [("a", 2.0), ("b", 5.0)]
+        assert clock.now == 10.0
+
+    def test_timer_not_due_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        clock.call_later(5.0, lambda: fired.append(1))
+        clock.advance(4.9)
+        assert not fired
+        assert clock.pending_timers() == 1
+
+    def test_past_timer_rejected(self):
+        clock = SimClock(start=10)
+        with pytest.raises(ValueError):
+            clock.call_at(5.0, lambda: None)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+        with pytest.raises(ValueError):
+            clock.advance_to(3.0)
+
+
+class TestEventBus:
+    def test_exact_topic_delivery(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("host.syscall", seen.append)
+        bus.emit("host.syscall", "host-1", 0.0, nr="open")
+        bus.emit("host.file", "host-1", 0.0)
+        assert len(seen) == 1
+        assert seen[0].get("nr") == "open"
+
+    def test_prefix_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("host", seen.append)
+        bus.emit("host.syscall", "h", 0.0)
+        bus.emit("host.file.write", "h", 0.0)
+        bus.emit("pon.frame", "olt", 0.0)
+        assert len(seen) == 2
+
+    def test_wildcard_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("", seen.append)
+        bus.emit("a", "s", 0.0)
+        bus.emit("b.c", "s", 0.0)
+        assert len(seen) == 2
+
+    def test_prefix_requires_dot_boundary(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("host", seen.append)
+        bus.emit("hostile.action", "x", 0.0)
+        assert not seen
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsub = bus.subscribe("t", seen.append)
+        bus.emit("t", "s", 0.0)
+        unsub()
+        bus.emit("t", "s", 1.0)
+        assert len(seen) == 1
+
+    def test_history_filtering_and_replay(self):
+        bus = EventBus()
+        bus.emit("a.x", "s", 0.0)
+        bus.emit("b.y", "s", 1.0)
+        assert [e.topic for e in bus.history("a")] == ["a.x"]
+        bus.clear_history()
+        assert list(bus.history()) == []
+
+    def test_history_is_bounded(self):
+        bus = EventBus(history_limit=10)
+        for i in range(25):
+            bus.emit("t", "s", float(i))
+        assert len(list(bus.history())) <= 11
+
+    def test_event_payload_access(self):
+        event = Event(topic="t", source="s", timestamp=1.0, payload={"k": 2})
+        assert event.get("k") == 2
+        assert event.get("missing", "d") == "d"
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("onu") == "onu-1"
+        assert gen.next("onu") == "onu-2"
+        assert gen.next("pod") == "pod-1"
+
+    def test_peek_and_reset(self):
+        gen = IdGenerator()
+        gen.next("x")
+        assert gen.peek("x") == 1
+        gen.reset()
+        assert gen.next("x") == "x-1"
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IdGenerator().next("")

@@ -1,0 +1,74 @@
+"""Tests for node cordoning and its integration with attestation."""
+
+import pytest
+
+from repro.common.errors import CapacityError, NotFoundError
+from repro.orchestrator.kube.cluster import KubeCluster
+from repro.orchestrator.kube.objects import Namespace, PodSpec
+from repro.platform import build_genio_deployment, ml_inference_image
+from repro.security.pipeline import SecurityPipeline
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.vm import VmSpec
+
+
+@pytest.fixture
+def cluster():
+    cluster = KubeCluster()
+    hv = Hypervisor("olt-1", cpu_cores=16, memory_mb=32768,
+                    clock=cluster.clock, bus=cluster.bus)
+    for i in range(2):
+        cluster.add_node(hv.create_vm(VmSpec(f"w{i}", vcpus=4,
+                                             memory_mb=8192)))
+    cluster.add_namespace(Namespace("tenant-a"))
+    return cluster
+
+
+class TestCordon:
+    def test_cordoned_node_takes_no_new_pods(self, cluster):
+        first = sorted(cluster.nodes)[0]
+        cluster.cordon(first)
+        for i in range(3):
+            pod = cluster.schedule(PodSpec(name=f"p{i}", namespace="tenant-a",
+                                           image=ml_inference_image()))
+            assert pod.node != first
+
+    def test_cordon_drains_running_pods(self, cluster):
+        pod = cluster.schedule(PodSpec(name="p", namespace="tenant-a",
+                                       image=ml_inference_image()))
+        drained = cluster.cordon(pod.node)
+        assert [p.key for p in drained] == [pod.key]
+        assert pod.key not in cluster.pods
+
+    def test_uncordon_restores_scheduling(self, cluster):
+        for name in list(cluster.nodes):
+            cluster.cordon(name)
+        with pytest.raises(CapacityError):
+            cluster.schedule(PodSpec(name="stuck", namespace="tenant-a",
+                                     image=ml_inference_image()))
+        cluster.uncordon(sorted(cluster.nodes)[0])
+        pod = cluster.schedule(PodSpec(name="ok", namespace="tenant-a",
+                                       image=ml_inference_image()))
+        assert pod.phase == "Running"
+
+    def test_cordon_unknown_node(self, cluster):
+        with pytest.raises(NotFoundError):
+            cluster.cordon("ghost")
+
+    def test_cordon_emits_event(self, cluster):
+        events = []
+        cluster.bus.subscribe("kube.cordon", events.append)
+        cluster.cordon(sorted(cluster.nodes)[0])
+        assert events and events[0].get("drained") == 0
+
+
+class TestInterOltLinks:
+    def test_pipeline_secures_inter_olt_segments(self):
+        deployment = build_genio_deployment(n_olts=3, onus_per_olt=1)
+        posture = SecurityPipeline(deployment).apply()
+        links = posture.channels.secured_links
+        inter = [name for name in links if name.startswith("interolt-")]
+        uplinks = [name for name in links if name.startswith("uplink-")]
+        assert len(inter) == 2      # chain of 3 OLTs -> 2 segments
+        assert len(uplinks) == 3
+        for name in inter:
+            assert links[name].handshake.shared_secret

@@ -1,0 +1,84 @@
+"""Tests for alert correlation and triage."""
+
+import pytest
+
+from repro.security.monitor.correlate import (
+    Incident, RULE_STAGES, correlate, triage,
+)
+from repro.security.monitor.falco import Alert, Priority
+
+
+def alert(rule, t, tenant="tenant-a", priority=Priority.WARNING):
+    return Alert(rule=rule, priority=priority, timestamp=t,
+                 source="node", summary=f"runtime.syscall: tenant={tenant}")
+
+
+class TestCorrelation:
+    def test_same_tenant_within_window_groups(self):
+        alerts = [alert("shell_in_container", 0.0),
+                  alert("sensitive_file_read", 60.0,
+                        priority=Priority.CRITICAL),
+                  alert("unexpected_outbound", 120.0,
+                        priority=Priority.ERROR)]
+        incidents = correlate(alerts, window_s=300.0)
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident.stages == ["execution", "escalation", "exfiltration"]
+        assert incident.is_campaign
+        assert incident.max_priority is Priority.CRITICAL
+
+    def test_window_splits_incidents(self):
+        alerts = [alert("shell_in_container", 0.0),
+                  alert("shell_in_container", 10_000.0)]
+        incidents = correlate(alerts, window_s=300.0)
+        assert len(incidents) == 2
+
+    def test_different_tenants_never_merge(self):
+        alerts = [alert("shell_in_container", 0.0, tenant="tenant-a"),
+                  alert("shell_in_container", 1.0, tenant="tenant-b")]
+        assert len(correlate(alerts)) == 2
+
+    def test_ordering_by_score(self):
+        alerts = [alert("failed_login", 0.0, tenant="noisy",
+                        priority=Priority.NOTICE),
+                  alert("shell_in_container", 0.0, tenant="bad"),
+                  alert("unexpected_outbound", 5.0, tenant="bad",
+                        priority=Priority.ERROR)]
+        incidents = correlate(alerts)
+        assert incidents[0].key == "bad"
+
+    def test_triage_buckets(self):
+        alerts = [
+            alert("failed_login", 0.0, tenant="fat-fingers",
+                  priority=Priority.NOTICE),
+            alert("sensitive_file_read", 0.0, tenant="smash-and-grab",
+                  priority=Priority.CRITICAL),
+            alert("shell_in_container", 0.0, tenant="campaign"),
+            alert("unexpected_outbound", 9.0, tenant="campaign",
+                  priority=Priority.ERROR),
+        ]
+        buckets = triage(correlate(alerts))
+        respond_keys = {i.key for i in buckets["respond"]}
+        review_keys = {i.key for i in buckets["review"]}
+        assert respond_keys == {"smash-and-grab", "campaign"}
+        assert review_keys == {"fat-fingers"}
+
+    def test_unknown_rule_is_anomaly_stage(self):
+        incidents = correlate([alert("brand_new_rule", 0.0)])
+        assert incidents[0].stages == ["anomaly"]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            correlate([], window_s=0)
+
+    def test_every_default_rule_has_a_stage(self):
+        from repro.security.monitor.falco import default_rules
+        for rule in default_rules():
+            assert rule.name in RULE_STAGES, rule.name
+
+    def test_summary_is_readable(self):
+        incidents = correlate([alert("shell_in_container", 0.0),
+                               alert("unexpected_outbound", 5.0,
+                                     priority=Priority.ERROR)])
+        text = incidents[0].summary()
+        assert "execution->exfiltration" in text and "tenant-a" in text

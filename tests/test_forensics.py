@@ -1,0 +1,80 @@
+"""Tests for forensic evidence bundles."""
+
+import json
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.platform.workloads import ml_inference_image
+from repro.security.integrity.fim import FimFinding
+from repro.security.monitor import FalcoEngine
+from repro.security.monitor.correlate import correlate
+from repro.security.monitor.forensics import ForensicCollector
+from repro.virt.container import ContainerSpec
+from repro.virt.runtime import ContainerRuntime
+
+
+@pytest.fixture
+def incident_setup():
+    runtime = ContainerRuntime("node")
+    engine = FalcoEngine()
+    engine.attach(runtime.bus)
+    bad = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                    tenant="tenant-evil"))
+    bystander = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                          tenant="tenant-good"))
+    runtime.syscall(bad.id, "execve", path="/bin/sh")
+    runtime.syscall(bad.id, "open", path="/etc/shadow")
+    runtime.syscall(bystander.id, "read", path="/data/x")
+    incidents = correlate(engine.alerts)
+    incident = next(i for i in incidents if i.key == "tenant-evil")
+    return runtime, engine, incident
+
+
+class TestForensicCollector:
+    def test_bundle_contains_related_events_only(self, incident_setup):
+        runtime, _, incident = incident_setup
+        collector = ForensicCollector(runtime.bus)
+        bundle = collector.collect(incident)
+        assert bundle.events
+        for event in bundle.events:
+            assert "tenant-evil" in json.dumps(event)
+        assert not any("tenant-good" in json.dumps(e) for e in bundle.events)
+
+    def test_bundle_includes_alerts_and_fim(self, incident_setup):
+        runtime, _, incident = incident_setup
+        collector = ForensicCollector(runtime.bus)
+        fim = [FimFinding(path="/usr/bin/sudo", change="modified",
+                          mutable=False)]
+        bundle = collector.collect(incident, fim_findings=fim)
+        assert len(bundle.alerts) == len(incident.alerts)
+        assert bundle.integrity_findings[0]["path"] == "/usr/bin/sudo"
+
+    def test_seal_and_verify(self, incident_setup):
+        runtime, _, incident = incident_setup
+        collector = ForensicCollector(runtime.bus)
+        bundle = collector.collect(incident)
+        collector.verify(bundle)   # untouched -> fine
+
+    def test_tampered_bundle_detected(self, incident_setup):
+        runtime, _, incident = incident_setup
+        collector = ForensicCollector(runtime.bus)
+        bundle = collector.collect(incident)
+        bundle.alerts[0]["rule"] = "nothing_to_see_here"
+        with pytest.raises(IntegrityError):
+            collector.verify(bundle)
+
+    def test_json_round_trip(self, incident_setup):
+        runtime, _, incident = incident_setup
+        collector = ForensicCollector(runtime.bus)
+        bundle = collector.collect(incident)
+        parsed = json.loads(bundle.to_json())
+        assert parsed["incident_key"] == "tenant-evil"
+        assert parsed["digest"] == bundle.digest
+
+    def test_window_margin_applied(self, incident_setup):
+        runtime, _, incident = incident_setup
+        collector = ForensicCollector(runtime.bus, margin_s=120.0)
+        bundle = collector.collect(incident)
+        assert bundle.window["start"] == incident.started_at - 120.0
+        assert bundle.window["end"] == incident.ended_at + 120.0

@@ -1,0 +1,138 @@
+"""Unit tests for M1/M2 hardening engines."""
+
+import pytest
+
+from repro.osmodel.host import Host
+from repro.osmodel.kernel import stock_onl_kernel
+from repro.osmodel.presets import cloud_host, stock_onl_olt_host
+from repro.security.hardening import (
+    KernelHardeningChecker, Severity, harden_host, harden_kernel,
+    onl_scap_profile, stig_profile,
+)
+from repro.security.hardening.kernelcheck import MODULE_BLACKLIST
+
+
+class TestScapProfile:
+    def test_stock_onl_fails_broadly(self):
+        report = onl_scap_profile().evaluate(stock_onl_olt_host())
+        assert report.pass_rate < 0.2
+        assert report.failures(Severity.HIGH)
+
+    def test_remediation_fixes_all_automated_rules(self):
+        host = stock_onl_olt_host()
+        profile = onl_scap_profile()
+        applied = profile.remediate(host)
+        assert applied
+        report = profile.evaluate(host)
+        assert report.pass_rate == 1.0
+
+    def test_remediation_is_idempotent(self):
+        host = stock_onl_olt_host()
+        profile = onl_scap_profile()
+        profile.remediate(host)
+        assert profile.remediate(host) == []
+
+    def test_ssh_rules_specifically(self):
+        host = stock_onl_olt_host()
+        profile = onl_scap_profile()
+        profile.remediate(host)
+        sshd = host.services.get("sshd")
+        assert sshd.config["PermitRootLogin"] == "no"
+        assert sshd.config["PasswordAuthentication"] == "no"
+        assert "cbc" not in sshd.config["Ciphers"]
+
+    def test_untrusted_apt_lines_removed(self):
+        host = stock_onl_olt_host()
+        onl_scap_profile().remediate(host)
+        content = host.fs.read("/etc/apt/sources.list").decode()
+        assert "sketchy" not in content and "[trusted=yes]" not in content
+        assert "deb.debian.org" in content  # legitimate line kept
+
+    def test_essential_services_survive(self):
+        host = stock_onl_olt_host()
+        onl_scap_profile().remediate(host)
+        assert host.services.get("ovs-vswitchd").running
+        assert host.services.get("onlpd").running
+        assert "telnetd" not in host.services
+
+    def test_passwordless_accounts_locked(self):
+        host = stock_onl_olt_host()
+        onl_scap_profile().remediate(host)
+        assert host.users.passwordless_sudoers() == []
+        diag = host.users.get("diag")
+        assert diag.login_disabled
+
+    def test_cloud_host_mostly_passes_already(self):
+        report = onl_scap_profile().evaluate(cloud_host())
+        assert report.pass_rate > 0.7
+
+
+class TestStigProfile:
+    def test_manual_rules_stay_failed_after_remediation(self):
+        host = stock_onl_olt_host()
+        profile = stig_profile()
+        profile.remediate(host)
+        report = profile.evaluate(host)
+        failed_ids = {r.rule_id for r in report.failures()}
+        # Encryption/secure-boot need the integrity pipeline, not SCAP.
+        assert "STIG-ENC-01" in failed_ids
+        assert "STIG-BOOT-01" in failed_ids
+        assert all(not r.automated for r in report.failures())
+
+    def test_automated_stig_rules_fixed(self):
+        host = stock_onl_olt_host()
+        profile = stig_profile()
+        profile.remediate(host)
+        report = profile.evaluate(host)
+        passed_ids = {r.rule_id for r in report.results if r.passed}
+        assert {"STIG-ACC-01", "STIG-SSH-01", "STIG-LOG-01",
+                "STIG-BOOT-02"} <= passed_ids
+
+
+class TestKernelChecker:
+    def test_stock_kernel_fails(self):
+        report = KernelHardeningChecker().check(stock_onl_kernel())
+        assert report.pass_rate < 0.3
+        planes = {f.plane for f in report.failures()}
+        assert {"kconfig", "cmdline", "sysctl", "module", "lsm"} <= planes
+
+    def test_harden_kernel_respects_sdn(self):
+        kernel = stock_onl_kernel()
+        unappliable = harden_kernel(kernel)
+        assert unappliable == ["CONFIG_BPF_SYSCALL"]
+        assert kernel.kconfig_enabled("CONFIG_BPF_SYSCALL")  # still on
+        assert not kernel.kexec_enabled
+        assert kernel.stack_protector
+        assert kernel.lsm == "apparmor"
+        assert not (set(MODULE_BLACKLIST) & kernel.loaded_modules)
+
+    def test_hardened_kernel_near_perfect(self):
+        kernel = stock_onl_kernel()
+        harden_kernel(kernel)
+        report = KernelHardeningChecker().check(kernel)
+        assert report.pass_rate > 0.9
+        assert [f.key for f in report.failures()] == ["CONFIG_BPF_SYSCALL"]
+
+    def test_microcode_applied(self):
+        kernel = stock_onl_kernel()
+        harden_kernel(kernel, microcode_revision=50)
+        assert kernel.microcode_revision == 50
+
+
+class TestHardenHost:
+    def test_full_pass_improves_everything(self):
+        host = stock_onl_olt_host()
+        summary = harden_host(host)
+        assert summary.improvement > 0.5
+        for profile, rate in summary.pass_rate_after.items():
+            assert rate > summary.pass_rate_before[profile], profile
+        assert summary.pass_rate_after["onl-scap"] == 1.0
+        assert summary.sdn_conflicts == ["CONFIG_BPF_SYSCALL"]
+        assert summary.manual_rules  # STIG leftovers
+
+    def test_hardening_twice_is_stable(self):
+        host = stock_onl_olt_host()
+        harden_host(host)
+        second = harden_host(host)
+        assert second.applied_rules == []
+        assert second.improvement == pytest.approx(0.0)

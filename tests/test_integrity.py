@@ -1,0 +1,172 @@
+"""Unit tests for M5/M6/M7: secure boot, secure storage, FIM."""
+
+import pytest
+
+from repro.common.errors import AuthorizationError, IntegrityError
+from repro.osmodel.boot import BootComponent, BootStage
+from repro.osmodel.presets import cloud_host, stock_onl_olt_host
+from repro.security.integrity import (
+    FileIntegrityMonitor, SecureBootProvisioner, provision_secure_storage,
+)
+from repro.security.integrity.securestorage import boot_and_unlock, clevis_repository
+
+
+class TestSecureBoot:
+    @pytest.fixture
+    def provisioned(self):
+        host = stock_onl_olt_host()
+        provisioner = SecureBootProvisioner()
+        provisioner.provision(host)
+        provisioner.record_golden_state(host)
+        return host, provisioner
+
+    def test_good_boot_attests_trusted(self, provisioned):
+        host, provisioner = provisioned
+        host.boot()
+        assert provisioner.attest_host(host).trusted
+
+    def test_tampered_kernel_blocked_by_secure_boot(self, provisioned):
+        host, provisioner = provisioned
+        good_signature = host.boot_chain.components[BootStage.KERNEL].signature
+        host.boot_chain.install(BootComponent(
+            BootStage.KERNEL, b"vmlinuz-bootkit", signature=good_signature))
+        outcome = host.boot()
+        assert not outcome.booted
+        assert "kernel" in outcome.failure
+
+    def test_tampered_kernel_detected_by_measured_boot_alone(self, provisioned):
+        host, provisioner = provisioned
+        host.firmware.secure_boot = False  # verification off...
+        host.boot_chain.install(BootComponent(BootStage.KERNEL, b"vmlinuz-bootkit"))
+        assert host.boot().booted
+        attestation = provisioner.attest_host(host)   # ...but evidence remains
+        assert not attestation.trusted
+        assert attestation.mismatched_pcrs
+
+    def test_signed_kernel_update_boots_but_changes_measurements(self, provisioned):
+        host, provisioner = provisioned
+        host.boot_chain.install(
+            provisioner.sign_kernel_update(b"vmlinuz-4.19.0-onl-p2"))
+        assert host.boot().booted                      # signature valid
+        assert not provisioner.attest_host(host).trusted  # needs re-measurement
+        provisioner.record_golden_state(host)
+        assert provisioner.attest_host(host).trusted
+
+    def test_attest_without_golden_state(self):
+        host = cloud_host()
+        assert not SecureBootProvisioner().attest_host(host).trusted
+
+    def test_record_golden_requires_successful_boot(self):
+        host = stock_onl_olt_host()   # no chain installed
+        with pytest.raises(ValueError):
+            SecureBootProvisioner().record_golden_state(host)
+
+
+class TestSecureStorage:
+    def test_legacy_onl_falls_back_to_manual(self):
+        host = stock_onl_olt_host()
+        result = provision_secure_storage(host)
+        assert result.encrypted and not result.tpm_bound
+        assert result.unlock_mode == "manual-passphrase"
+        assert any("Lesson 3" in note for note in result.notes)
+
+    def test_forced_install_enables_auto_unlock_with_risk(self):
+        host = stock_onl_olt_host()
+        host.tpm.extend(8, b"kernel-good")
+        result = provision_secure_storage(host, force_install=True)
+        assert result.tpm_bound and result.unlock_mode == "auto"
+        assert result.conflict_risk
+        assert boot_and_unlock(host, "data") == "auto"
+
+    def test_modern_host_gets_auto_unlock_cleanly(self):
+        host = cloud_host()
+        host.tpm.extend(8, b"kernel-good")
+        result = provision_secure_storage(host)
+        assert result.tpm_bound and not result.conflict_risk
+
+    def test_tampered_boot_blocks_auto_unlock(self):
+        host = cloud_host()
+        host.tpm.extend(8, b"kernel-good")
+        provision_secure_storage(host)
+        host.tpm.reset()
+        host.tpm.extend(8, b"kernel-evil")
+        with pytest.raises(AuthorizationError):
+            boot_and_unlock(host, "data")
+        # Operator recovery path still works:
+        assert boot_and_unlock(host, "data",
+                               passphrase="genio-recovery-passphrase") \
+            == "manual-passphrase"
+
+    def test_unsigned_backports_blocked_by_signature_policy(self):
+        host = cloud_host()
+        host.require_signed_apt()
+        host.packages.remove("clevis")
+        host.packages.remove("tpm2-tools")
+        result = provision_secure_storage(host)
+        assert not result.tpm_bound
+        assert any("unsigned" in note for note in result.notes)
+
+    def test_data_at_rest_is_ciphertext(self):
+        host = cloud_host()
+        provision_secure_storage(host)
+        volume = host.volumes["data"]
+        boot_and_unlock(host, "data", passphrase="genio-recovery-passphrase")
+        volume.write("tenant.db", b"subscriber records")
+        assert volume.raw_ciphertext("tenant.db") != b"subscriber records"
+
+
+class TestFim:
+    @pytest.fixture
+    def monitored(self):
+        host = stock_onl_olt_host()
+        fim = FileIntegrityMonitor(host)
+        count = fim.baseline()
+        assert count > 0
+        return host, fim
+
+    def test_clean_check(self, monitored):
+        _, fim = monitored
+        report = fim.check()
+        assert report.clean and not report.findings
+
+    def test_binary_modification_alerts(self, monitored):
+        host, fim = monitored
+        host.fs.write("/usr/bin/sudo", b"BACKDOORED", actor="attacker")
+        report = fim.check()
+        assert not report.clean
+        assert [f.path for f in report.alerts] == ["/usr/bin/sudo"]
+        assert report.alerts[0].change == "modified"
+
+    def test_added_and_deleted_files(self, monitored):
+        host, fim = monitored
+        host.fs.write("/usr/bin/implant", b"EVIL")
+        host.fs.delete("/usr/sbin/sshd")
+        changes = {(f.path, f.change) for f in fim.check().alerts}
+        assert ("/usr/bin/implant", "added") in changes
+        assert ("/usr/sbin/sshd", "deleted") in changes
+
+    def test_mutable_paths_are_noise_not_alerts(self, monitored):
+        host, fim = monitored
+        host.fs.write("/var/log/messages", b"normal log growth")
+        report = fim.check()
+        assert report.clean          # no alert...
+        assert report.noise          # ...but churn visible separately
+
+    def test_without_classification_logs_become_false_positives(self):
+        host = stock_onl_olt_host()
+        fim = FileIntegrityMonitor(host, classify_mutable=False)
+        fim.baseline()
+        host.fs.write("/var/log/messages", b"normal log growth")
+        report = fim.check()
+        assert not report.clean      # Lesson 3's misleading alert
+
+    def test_tampered_database_detected(self, monitored):
+        host, fim = monitored
+        fim.tamper_with_database()
+        with pytest.raises(IntegrityError):
+            fim.check()
+
+    def test_check_without_baseline(self):
+        fim = FileIntegrityMonitor(stock_onl_olt_host())
+        with pytest.raises(IntegrityError):
+            fim.check()

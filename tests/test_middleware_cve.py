@@ -1,0 +1,50 @@
+"""Tests for the T6 middleware-CVE exploit and M12 patch remediation."""
+
+import pytest
+
+from repro.attacks import MiddlewareCveExploit, patch_controller
+from repro.sdn.controller import SdnController
+from repro.security.vulnmgmt import build_cve_corpus
+
+
+@pytest.fixture
+def corpus():
+    return build_cve_corpus()
+
+
+class TestMiddlewareCveExploit:
+    def test_stock_controller_is_exploitable(self, corpus):
+        result = MiddlewareCveExploit(SdnController(), corpus).run()
+        assert result.succeeded
+        assert "without authorization" in result.detail
+
+    def test_exploit_needs_no_credentials(self, corpus):
+        """T6 vs T5: the CVE bypasses authn entirely — hardening creds
+        does not help, only patching does."""
+        from repro.security.access.leastprivilege import harden_sdn_controller
+        controller = SdnController()
+        harden_sdn_controller(controller)     # M10 applied...
+        result = MiddlewareCveExploit(controller, corpus).run()
+        assert result.succeeded               # ...and the CVE still lands
+
+    def test_patched_controller_resists(self, corpus):
+        controller = SdnController()
+        assert patch_controller(controller, corpus)
+        result = MiddlewareCveExploit(controller, corpus).run()
+        assert not result.succeeded and "patched" in result.detail
+
+    def test_patch_is_idempotent(self, corpus):
+        controller = SdnController()
+        assert patch_controller(controller, corpus)
+        assert not patch_controller(controller, corpus)   # already fixed
+
+    def test_unknown_cve(self, corpus):
+        result = MiddlewareCveExploit(SdnController(), corpus,
+                                      cve_id="CVE-0000-0000").run()
+        assert not result.succeeded
+
+    def test_old_onos_also_hit_by_rce(self, corpus):
+        controller = SdnController(version="2.1.0")
+        result = MiddlewareCveExploit(controller, corpus,
+                                      cve_id="CVE-2019-16300").run()
+        assert result.succeeded

@@ -1,0 +1,104 @@
+"""Tests for the publication gate and onboarding workflow."""
+
+import pytest
+
+from repro.common.errors import IntegrityError, QuarantineError
+from repro.platform.onboarding import OnboardingService, PublicationGate
+from repro.platform.workloads import (
+    iot_analytics_image, legacy_java_billing_image, malicious_miner_image,
+    ml_inference_image, telemetry_gateway_image, vulnerable_webapp_image,
+)
+from repro.security.vulnmgmt import build_cve_corpus
+from repro.security.vulnmgmt.cvedb import Severity
+
+
+@pytest.fixture
+def gate():
+    return PublicationGate(build_cve_corpus())
+
+
+@pytest.fixture
+def service():
+    return OnboardingService()
+
+
+class TestPublicationGate:
+    def test_clean_image_admitted(self, gate):
+        verdict = gate.evaluate(ml_inference_image())
+        assert verdict.admitted
+        assert verdict.blocking_findings == []
+
+    def test_malware_always_blocks(self, gate):
+        verdict = gate.evaluate(malicious_miner_image())
+        assert not verdict.admitted
+        assert any(f.stage == "malware" for f in verdict.blocking_findings)
+
+    def test_vulnerable_webapp_blocked_on_multiple_stages(self, gate):
+        verdict = gate.evaluate(vulnerable_webapp_image())
+        assert not verdict.admitted
+        stages = {f.stage for f in verdict.blocking_findings}
+        assert {"sca", "sast", "dast", "config"} <= stages
+
+    def test_lesson7_unused_dependency_blocks_anyway(self, gate):
+        verdict = gate.evaluate(iot_analytics_image())
+        assert not verdict.admitted
+        unused_blockers = [f for f in verdict.blocking_findings
+                           if "never imported" in f.detail]
+        assert unused_blockers    # the noise costs real publishes
+
+    def test_non_rest_image_gets_dast_advisory(self, gate):
+        verdict = gate.evaluate(legacy_java_billing_image())
+        dast = [f for f in verdict.findings if f.stage == "dast"]
+        assert dast and not dast[0].blocking
+        assert "not fuzzable" in dast[0].detail
+
+    def test_root_user_is_advisory_not_blocking(self, gate):
+        verdict = gate.evaluate(legacy_java_billing_image())
+        root = [f for f in verdict.advisories if "root" in f.detail]
+        assert root
+
+    def test_severity_threshold_configurable(self):
+        lenient = PublicationGate(build_cve_corpus(),
+                                  block_at=Severity.CRITICAL)
+        verdict = lenient.evaluate(telemetry_gateway_image())
+        # celery 5.0.0 CVE is HIGH -> advisory under a CRITICAL-only gate;
+        # but the DAST auth-bypass still blocks.
+        sca_blockers = [f for f in verdict.blocking_findings
+                        if f.stage == "sca"]
+        assert sca_blockers == []
+
+
+class TestOnboardingService:
+    def test_submit_and_verified_pull(self, service):
+        image = ml_inference_image()
+        verdict = service.submit(image, publisher="acme")
+        assert verdict.admitted
+        pulled = service.pull_verified(image.reference)
+        assert pulled is image
+
+    def test_rejected_image_never_reaches_registry(self, service):
+        with pytest.raises(QuarantineError):
+            service.submit(malicious_miner_image(), publisher="freebie")
+        assert service.registry.catalog() == []
+
+    def test_unsigned_sideload_fails_verified_pull(self, service):
+        sneaky = vulnerable_webapp_image()
+        service.registry.publish(sneaky, publisher="sideload")  # no signature
+        with pytest.raises(IntegrityError):
+            service.pull_verified(sneaky.reference)
+
+    def test_verdicts_recorded_for_audit(self, service):
+        service.submit(ml_inference_image(), publisher="acme")
+        try:
+            service.submit(malicious_miner_image(), publisher="freebie")
+        except QuarantineError:
+            pass
+        assert len(service.verdicts) == 2
+        assert [v.admitted for v in service.verdicts] == [True, False]
+
+    def test_tampered_registry_image_fails_pull(self, service):
+        image = ml_inference_image()
+        service.submit(image, publisher="acme")
+        service.registry.tamper(image.reference, "/app/backdoor.py", b"evil")
+        with pytest.raises(IntegrityError):
+            service.pull_verified(image.reference)

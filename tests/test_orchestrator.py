@@ -1,0 +1,286 @@
+"""Unit tests for the Kubernetes-like, Proxmox-like and registry substrates."""
+
+import pytest
+
+from repro.common import crypto
+from repro.common.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    CapacityError,
+    IntegrityError,
+    NotFoundError,
+)
+from repro.orchestrator.kube.apiserver import ApiServer, ApiServerConfig
+from repro.orchestrator.kube.cluster import KubeCluster
+from repro.orchestrator.kube.objects import (
+    Namespace, NetworkPolicy, PodSecurityContext, PodSpec,
+)
+from repro.orchestrator.kube.rbac import (
+    PolicyRule, RbacAuthorizer, Role, RoleBinding, Subject,
+    permissive_default_rbac,
+)
+from repro.orchestrator.proxmox import ProxmoxCluster, PveUser
+from repro.orchestrator.registry import ImageRegistry
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.image import ContainerImage
+from repro.virt.vm import VmSpec
+
+
+def make_image(name="app"):
+    image = ContainerImage(name=name)
+    image.add_layer({"/app/main.py": b"pass"})
+    return image
+
+
+class TestRbac:
+    def test_wildcard_role_allows_everything(self):
+        rbac = permissive_default_rbac()
+        subject = Subject("ServiceAccount", "tenant-a:default")
+        assert rbac.authorize(subject, "delete", "nodes", "kube-system")
+        assert rbac.authorize(subject, "get", "secrets", "tenant-b")
+
+    def test_namespaced_role_is_scoped(self):
+        rbac = RbacAuthorizer()
+        rbac.add_role(Role(name="pod-reader", namespace="tenant-a",
+                           rules=[PolicyRule(("get", "list"), ("pods",))]))
+        rbac.bind(RoleBinding(name="b", role_name="pod-reader",
+                              namespace="tenant-a",
+                              subjects=[Subject("User", "alice")]))
+        alice = Subject("User", "alice")
+        assert rbac.authorize(alice, "get", "pods", "tenant-a")
+        assert not rbac.authorize(alice, "get", "pods", "tenant-b")
+        assert not rbac.authorize(alice, "delete", "pods", "tenant-a")
+        assert not rbac.authorize(alice, "get", "secrets", "tenant-a")
+
+    def test_privilege_surface_shrinks_with_least_privilege(self):
+        namespaces = ["tenant-a", "tenant-b", "kube-system"]
+        sa = Subject("ServiceAccount", "tenant-a:default")
+
+        permissive = permissive_default_rbac()
+        wide = permissive.privilege_surface(sa, namespaces)
+
+        tight = RbacAuthorizer()
+        tight.add_role(Role(name="app", namespace="tenant-a",
+                            rules=[PolicyRule(("get",), ("configmaps",))]))
+        tight.bind(RoleBinding(name="b", role_name="app", namespace="tenant-a",
+                               subjects=[sa]))
+        narrow = tight.privilege_surface(sa, namespaces)
+        assert len(narrow) < len(wide) / 10
+        assert tight.escalation_risks(sa, namespaces) == set()
+        assert permissive.escalation_risks(sa, namespaces)
+
+    def test_remove_binding(self):
+        rbac = permissive_default_rbac()
+        rbac.remove_binding("everyone-is-admin")
+        assert not rbac.authorize(Subject("User", "ops-alice"), "get", "pods", "x")
+
+
+class TestApiServer:
+    def test_anonymous_default_and_always_allow(self):
+        api = ApiServer()
+        result = api.request(None, "create", "pods", "default", "p1", obj={"x": 1})
+        assert result == {"x": 1}
+
+    def test_anonymous_off_requires_token(self):
+        api = ApiServer(config=ApiServerConfig(anonymous_auth=False))
+        with pytest.raises(AuthenticationError):
+            api.request(None, "get", "pods", "default")
+        api.register_token("tok", Subject("User", "alice"))
+        api.request("tok", "get", "pods", "default")  # AlwaysAllow
+
+    def test_rbac_mode_enforced(self):
+        rbac = RbacAuthorizer()
+        rbac.add_role(Role(name="reader", namespace="default",
+                           rules=[PolicyRule(("get", "list"), ("pods",))]))
+        rbac.bind(RoleBinding(name="b", role_name="reader", namespace="default",
+                              subjects=[Subject("User", "alice")]))
+        api = ApiServer(config=ApiServerConfig(anonymous_auth=False,
+                                               authorization_mode="RBAC"),
+                        rbac=rbac)
+        api.register_token("tok", Subject("User", "alice"))
+        api.request("tok", "get", "pods", "default")
+        with pytest.raises(AuthorizationError):
+            api.request("tok", "create", "pods", "default", "p", obj={})
+
+    def test_admission_controller_rejects(self):
+        api = ApiServer()
+        api.add_admission_controller(
+            "deny-privileged",
+            lambda verb, res, obj: "privileged pod"
+            if isinstance(obj, dict) and obj.get("privileged") else None)
+        api.request(None, "create", "pods", "d", "ok", obj={"privileged": False})
+        with pytest.raises(AuthorizationError):
+            api.request(None, "create", "pods", "d", "bad", obj={"privileged": True})
+
+    def test_audit_log_only_when_enabled(self):
+        silent = ApiServer()
+        silent.request(None, "get", "pods", "d")
+        assert silent.audit_log == []
+        loud = ApiServer(config=ApiServerConfig(audit_logging=True))
+        loud.request(None, "get", "pods", "d")
+        assert len(loud.audit_log) == 1
+
+    def test_store_crud(self):
+        api = ApiServer()
+        api.request(None, "create", "secrets", "ns", "s1", obj="v1")
+        assert api.request(None, "get", "secrets", "ns", "s1") == "v1"
+        assert api.request(None, "list", "secrets", "ns") == ["v1"]
+        api.request(None, "delete", "secrets", "ns", "s1")
+        assert api.request(None, "get", "secrets", "ns", "s1") is None
+
+
+class TestCluster:
+    @pytest.fixture
+    def cluster(self):
+        cluster = KubeCluster()
+        hv = Hypervisor("olt-1", cpu_cores=16, memory_mb=32768,
+                        clock=cluster.clock, bus=cluster.bus)
+        for i in range(2):
+            vm = hv.create_vm(VmSpec(f"worker-{i}", vcpus=4, memory_mb=8192))
+            cluster.add_node(vm, labels={"zone": f"z{i}"})
+        cluster.add_namespace(Namespace("tenant-a"))
+        return cluster
+
+    def test_schedule_runs_container(self, cluster):
+        pod = cluster.schedule(PodSpec(name="web", namespace="tenant-a",
+                                       image=make_image(), tenant="tenant-a"))
+        assert pod.phase == "Running"
+        node = cluster.nodes[pod.node]
+        assert node.runtime.containers[pod.container_id].running
+
+    def test_node_selector_respected(self, cluster):
+        pod = cluster.schedule(PodSpec(name="pinned", namespace="tenant-a",
+                                       image=make_image(),
+                                       node_selector={"zone": "z1"}))
+        assert cluster.node_labels[pod.node]["zone"] == "z1"
+
+    def test_unknown_namespace_rejected(self, cluster):
+        with pytest.raises(NotFoundError):
+            cluster.schedule(PodSpec(name="p", namespace="ghost",
+                                     image=make_image()))
+
+    def test_impossible_selector_is_capacity_error(self, cluster):
+        with pytest.raises(CapacityError):
+            cluster.schedule(PodSpec(name="p", namespace="tenant-a",
+                                     image=make_image(),
+                                     node_selector={"zone": "nowhere"}))
+
+    def test_evict(self, cluster):
+        pod = cluster.schedule(PodSpec(name="w", namespace="tenant-a",
+                                       image=make_image()))
+        cluster.evict(pod.key)
+        assert pod.key not in cluster.pods
+
+    def test_security_context_lowering(self, cluster):
+        spec = PodSpec(
+            name="p", namespace="tenant-a", image=make_image(),
+            security=PodSecurityContext(
+                privileged=True,
+                added_capabilities=("CAP_NET_ADMIN",),
+                seccomp_profile="runtime/default"),
+            host_path_volumes=("/var/run/docker.sock",),
+        )
+        cspec = spec.to_container_spec()
+        assert cspec.privileged
+        assert "CAP_NET_ADMIN" in cspec.capabilities
+        assert cspec.seccomp_profile == "default"
+        assert cspec.mounts[0].sensitive
+
+    def test_network_policy_default_allow_then_deny(self, cluster):
+        assert cluster.ingress_allowed("tenant-b", "tenant-a")
+        cluster.add_network_policy(NetworkPolicy(
+            name="deny", namespace="tenant-a", default_deny_ingress=True,
+            allowed_from_namespaces=("kube-system",)))
+        assert not cluster.ingress_allowed("tenant-b", "tenant-a")
+        assert cluster.ingress_allowed("kube-system", "tenant-a")
+
+    def test_component_inventory(self, cluster):
+        versions = cluster.component_versions()
+        assert versions["kube-apiserver"] == cluster.api.config.version
+        assert "etcd" in versions
+
+
+class TestProxmox:
+    @pytest.fixture
+    def pve(self):
+        pve = ProxmoxCluster()
+        pve.add_hypervisor("olt-1", Hypervisor("olt-1"))
+        pve.add_user(PveUser("alice@pve", token="t-alice"))
+        pve.add_user(PveUser("bob@pve", token="t-bob"))
+        return pve
+
+    def test_authentication(self, pve):
+        assert pve.authenticate("alice@pve", "t-alice").userid == "alice@pve"
+        with pytest.raises(AuthenticationError):
+            pve.authenticate("alice@pve", "wrong")
+        with pytest.raises(AuthenticationError):
+            pve.authenticate("ghost@pve", "x")
+
+    def test_path_acl_with_propagation(self, pve):
+        pve.grant("/nodes", "alice@pve", "PVEVMAdmin")
+        assert pve.check("alice@pve", "/nodes/olt-1", "VM.Allocate")
+        assert not pve.check("bob@pve", "/nodes/olt-1", "VM.Allocate")
+
+    def test_no_propagation(self, pve):
+        pve.grant("/nodes", "alice@pve", "PVEVMAdmin", propagate=False)
+        assert not pve.check("alice@pve", "/nodes/olt-1", "VM.Allocate")
+
+    def test_create_vm_requires_allocate(self, pve):
+        with pytest.raises(AuthorizationError):
+            pve.create_vm("bob@pve", "olt-1", VmSpec("w", vcpus=1, memory_mb=512))
+        pve.grant("/nodes/olt-1", "alice@pve", "PVEVMAdmin")
+        vm = pve.create_vm("alice@pve", "olt-1", VmSpec("w", vcpus=1, memory_mb=512))
+        assert vm.id in pve.vm_paths
+
+    def test_power_off_scoped_to_vm_path(self, pve):
+        pve.grant("/nodes/olt-1", "alice@pve", "PVEVMAdmin")
+        vm = pve.create_vm("alice@pve", "olt-1", VmSpec("w", vcpus=1, memory_mb=512))
+        with pytest.raises(AuthorizationError):
+            pve.power_off("bob@pve", vm.id)
+        pve.grant(f"/vms/{vm.id}", "bob@pve", "PVEVMUser")
+        pve.power_off("bob@pve", vm.id)
+        assert not vm.running
+
+    def test_unknown_role_rejected(self, pve):
+        with pytest.raises(ValueError):
+            pve.grant("/", "alice@pve", "SuperRoot")
+
+    def test_privileges_on_union(self, pve):
+        pve.grant("/vms", "alice@pve", "PVEVMUser")
+        pve.grant("/vms/vm-1", "alice@pve", "PVEAuditor")
+        privileges = pve.privileges_on("alice@pve", "/vms/vm-1")
+        assert "VM.Console" in privileges and "Sys.Audit" in privileges
+
+
+class TestRegistry:
+    def test_publish_pull_roundtrip(self):
+        registry = ImageRegistry()
+        image = make_image("tenant/web")
+        registry.publish(image, publisher="tenant-a")
+        assert registry.pull("tenant/web:latest") is image
+
+    def test_missing_image(self):
+        with pytest.raises(NotFoundError):
+            ImageRegistry().pull("ghost:latest")
+
+    def test_content_trust_flow(self):
+        key = crypto.RsaKeyPair.generate(bits=512, seed=33)
+        registry = ImageRegistry(signing_keypair=key)
+        registry.publish(make_image("signed/app"), publisher="genio", sign=True)
+        registry.publish(make_image("unsigned/app"), publisher="ext")
+        registry.pull("signed/app:latest", require_signature=True,
+                      trusted_keys=[key.public])
+        with pytest.raises(IntegrityError):
+            registry.pull("unsigned/app:latest", require_signature=True,
+                          trusted_keys=[key.public])
+
+    def test_tampered_image_detected_on_pull(self):
+        registry = ImageRegistry()
+        registry.publish(make_image("app"), publisher="tenant")
+        registry.tamper("app:latest", "/app/backdoor.py", b"evil")
+        with pytest.raises(IntegrityError):
+            registry.pull("app:latest")
+
+    def test_signing_without_key_rejected(self):
+        with pytest.raises(ValueError):
+            ImageRegistry().publish(make_image(), publisher="x", sign=True)

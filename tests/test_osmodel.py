@@ -1,0 +1,445 @@
+"""Unit tests for the simulated Linux host substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import crypto
+from repro.common.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    ConfigurationError,
+    IntegrityError,
+    NotFoundError,
+)
+from repro.osmodel.boot import (
+    BootChain, BootComponent, BootStage, FirmwareRom, PCR_KERNEL, sign_component,
+)
+from repro.osmodel.filesystem import FileSystem
+from repro.osmodel.host import CLOUD_DISTRO, Host, ONL_DISTRO
+from repro.osmodel.kernel import KernelConfig, stock_onl_kernel
+from repro.osmodel.packages import (
+    AptRepository, Package, PackageDatabase, compare_versions, version_in_range,
+)
+from repro.osmodel.presets import cloud_host, stock_onl_olt_host
+from repro.osmodel.services import Service, ServiceRegistry
+from repro.osmodel.storage import LuksVolume
+from repro.osmodel.tpm import Tpm
+from repro.osmodel.users import User, UserDatabase
+
+
+class TestFileSystem:
+    def test_write_read_roundtrip(self):
+        fs = FileSystem()
+        fs.write("/etc/motd", b"hello")
+        assert fs.read("/etc/motd") == b"hello"
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            FileSystem().write("etc/motd", b"")
+
+    def test_missing_file_raises(self):
+        with pytest.raises(NotFoundError):
+            FileSystem().read("/nope")
+
+    def test_immutable_blocks_write_and_delete(self):
+        fs = FileSystem()
+        fs.write("/usr/bin/sudo", b"bin")
+        fs.set_immutable("/usr/bin/sudo")
+        with pytest.raises(AuthorizationError):
+            fs.write("/usr/bin/sudo", b"evil")
+        with pytest.raises(AuthorizationError):
+            fs.delete("/usr/bin/sudo")
+
+    def test_observer_sees_mutations(self):
+        fs = FileSystem()
+        events = []
+        fs.observe(lambda op, path, actor: events.append((op, path, actor)))
+        fs.write("/a", b"1", actor="attacker")
+        fs.chmod("/a", 0o777)
+        fs.delete("/a")
+        assert [e[0] for e in events] == ["write", "chmod", "delete"]
+        assert events[0][2] == "attacker"
+
+    def test_setuid_and_world_writable_globs(self):
+        fs = FileSystem()
+        fs.write("/bin/su", b"x", mode=0o4755)
+        fs.write("/tmp/x", b"x", mode=0o777)
+        fs.write("/etc/safe", b"x", mode=0o644)
+        assert [n.path for n in fs.glob_setuid()] == ["/bin/su"]
+        assert [n.path for n in fs.glob_world_writable()] == ["/tmp/x"]
+
+    def test_walk_prefix(self):
+        fs = FileSystem()
+        fs.write("/etc/a", b"")
+        fs.write("/etc/ssh/b", b"")
+        fs.write("/var/c", b"")
+        assert len(list(fs.walk("/etc"))) == 2
+
+    def test_walk_prefix_respects_boundary(self):
+        fs = FileSystem()
+        fs.write("/etc2/trick", b"")
+        assert list(fs.walk("/etc")) == []
+
+    def test_snapshot_hashes_change_with_content(self):
+        fs = FileSystem()
+        fs.write("/f", b"one")
+        before = fs.snapshot_hashes()
+        fs.write("/f", b"two")
+        assert fs.snapshot_hashes()["/f"] != before["/f"]
+
+    def test_chown(self):
+        fs = FileSystem()
+        fs.write("/f", b"")
+        fs.chown("/f", "admin", "staff")
+        assert fs.node("/f").owner == "admin"
+        assert fs.node("/f").group == "staff"
+
+
+class TestKernelConfig:
+    def test_stock_onl_is_soft(self):
+        kernel = stock_onl_kernel()
+        assert kernel.kexec_enabled
+        assert kernel.kprobes_enabled
+        assert not kernel.stack_protector
+        assert kernel.cmdline["mitigations"] == "off"
+
+    def test_sdn_required_option_protected(self):
+        kernel = stock_onl_kernel()
+        with pytest.raises(ConfigurationError):
+            kernel.set_kconfig("CONFIG_BPF_SYSCALL", "n")
+        kernel.set_kconfig("CONFIG_KEXEC", "n")
+        assert not kernel.kexec_enabled
+
+    def test_module_loading_can_be_disabled(self):
+        kernel = KernelConfig()
+        kernel.load_module("dccp")
+        kernel.set_sysctl("kernel.modules_disabled", "1")
+        with pytest.raises(ConfigurationError):
+            kernel.load_module("sctp")
+
+    def test_lsm_validation(self):
+        kernel = KernelConfig()
+        kernel.enable_lsm("apparmor")
+        assert kernel.lsm == "apparmor"
+        with pytest.raises(ConfigurationError):
+            kernel.enable_lsm("tomoyo")
+
+    def test_microcode_must_move_forward(self):
+        kernel = KernelConfig()
+        kernel.apply_microcode(10)
+        with pytest.raises(ConfigurationError):
+            kernel.apply_microcode(10)
+
+
+class TestVersions:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("1.0", "1.0", 0),
+        ("1.0", "1.1", -1),
+        ("2.0", "1.9.9", 1),
+        ("1.1.1d", "1.1.1k", -1),
+        ("7.9p1", "8.0p1", -1),
+        ("1.28.4", "1.28", 1),
+        ("4.19.0-onl", "4.19.0", 1),
+    ])
+    def test_compare(self, a, b, expected):
+        assert compare_versions(a, b) == expected
+
+    def test_range_semantics(self):
+        assert version_in_range("1.5", "1.0", "2.0")
+        assert not version_in_range("2.0", "1.0", "2.0")  # fixed is exclusive
+        assert version_in_range("1.0", "1.0", "2.0")      # introduced inclusive
+        assert version_in_range("0.9", None, "2.0")
+        assert version_in_range("99", "1.0", None)
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=4),
+           st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_compare_is_antisymmetric(self, a_parts, b_parts):
+        a = ".".join(map(str, a_parts))
+        b = ".".join(map(str, b_parts))
+        assert compare_versions(a, b) == -compare_versions(b, a)
+
+
+class TestAptRepository:
+    def test_signed_metadata_verifies(self):
+        key = crypto.RsaKeyPair.generate(bits=512, seed=1)
+        repo = AptRepository("main", signing_keypair=key)
+        repo.publish(Package("nginx", "1.22"))
+        AptRepository.verify_metadata(repo.metadata(), [key.public])
+
+    def test_unsigned_metadata_rejected(self):
+        repo = AptRepository("sketchy")
+        repo.publish(Package("tool", "1.0"))
+        with pytest.raises(IntegrityError):
+            AptRepository.verify_metadata(repo.metadata(), [])
+
+    def test_untrusted_key_rejected(self):
+        signer = crypto.RsaKeyPair.generate(bits=512, seed=2)
+        other = crypto.RsaKeyPair.generate(bits=512, seed=3)
+        repo = AptRepository("evil", signing_keypair=signer)
+        with pytest.raises(IntegrityError):
+            AptRepository.verify_metadata(repo.metadata(), [other.public])
+
+    def test_tampered_index_rejected(self):
+        key = crypto.RsaKeyPair.generate(bits=512, seed=4)
+        repo = AptRepository("main", signing_keypair=key)
+        repo.publish(Package("bash", "5.0"))
+        meta = repo.metadata()
+        meta.package_index["bash"] = "5.0-backdoored"
+        with pytest.raises(IntegrityError):
+            AptRepository.verify_metadata(meta, [key.public])
+
+
+class TestTpm:
+    def test_extend_is_one_way_and_ordered(self):
+        tpm = Tpm()
+        tpm.extend(0, b"a")
+        after_a = tpm.read_pcr(0)
+        tpm.extend(0, b"b")
+        assert tpm.read_pcr(0) != after_a
+
+        other = Tpm()
+        other.extend(0, b"b")
+        other.extend(0, b"a")
+        assert other.read_pcr(0) != tpm.read_pcr(0)
+
+    def test_seal_unseal_roundtrip(self):
+        tpm = Tpm()
+        tpm.extend(8, b"kernel-v1")
+        tpm.seal("disk-key", b"supersecret", [8])
+        assert tpm.unseal("disk-key") == b"supersecret"
+
+    def test_unseal_fails_after_state_change(self):
+        tpm = Tpm()
+        tpm.extend(8, b"kernel-v1")
+        tpm.seal("disk-key", b"supersecret", [8])
+        tpm.extend(8, b"rootkit")
+        with pytest.raises(AuthorizationError):
+            tpm.unseal("disk-key")
+
+    def test_unseal_unknown_name(self):
+        with pytest.raises(NotFoundError):
+            Tpm().unseal("ghost")
+
+    def test_reset_clears_pcrs_and_log(self):
+        tpm = Tpm()
+        tpm.extend(0, b"x", description="fw")
+        tpm.reset()
+        assert tpm.read_pcr(0) == b"\x00" * 32
+        assert tpm.event_log == []
+
+    def test_bad_pcr_index(self):
+        with pytest.raises(ValueError):
+            Tpm().read_pcr(99)
+
+
+class TestBootChain:
+    @pytest.fixture
+    def signed_chain(self):
+        ca = crypto.RsaKeyPair.generate(bits=512, seed=10)       # "Microsoft"
+        mok = crypto.RsaKeyPair.generate(bits=512, seed=11)      # operator key
+        rom = FirmwareRom(secure_boot=True)
+        rom.enroll_ca(ca.public)
+        rom.enroll_mok(mok.public)
+        tpm = Tpm()
+        chain = BootChain(rom, tpm=tpm)
+        chain.install(sign_component(BootStage.SHIM, b"shim-15.7", ca))
+        chain.install(sign_component(BootStage.GRUB, b"grub-2.06", mok))
+        chain.install(sign_component(BootStage.KERNEL, b"vmlinuz-onl", mok))
+        return chain, ca, mok, tpm
+
+    def test_good_chain_boots(self, signed_chain):
+        chain, *_ = signed_chain
+        outcome = chain.boot()
+        assert outcome.booted
+        assert outcome.verified_stages == ["shim", "grub", "kernel"]
+
+    def test_tampered_kernel_blocked(self, signed_chain):
+        chain, _, mok, _ = signed_chain
+        tampered = BootComponent(BootStage.KERNEL, b"vmlinuz-rootkit",
+                                 signature=chain.components[BootStage.KERNEL].signature)
+        chain.install(tampered)
+        outcome = chain.boot()
+        assert not outcome.booted
+        assert "kernel" in outcome.failure
+
+    def test_shim_must_chain_to_ca_not_mok(self, signed_chain):
+        chain, _, mok, _ = signed_chain
+        chain.install(sign_component(BootStage.SHIM, b"shim-evil", mok))
+        assert not chain.boot().booted
+
+    def test_revoked_image_blocked(self, signed_chain):
+        chain, ca, *_ = signed_chain
+        chain.rom.revoke_image(b"shim-15.7")
+        assert not chain.boot().booted
+
+    def test_secure_boot_off_boots_anything_but_measures(self, signed_chain):
+        chain, _, _, tpm = signed_chain
+        chain.rom.secure_boot = False
+        chain.install(BootComponent(BootStage.KERNEL, b"vmlinuz-rootkit"))
+        outcome = chain.boot()
+        assert outcome.booted  # nothing verified...
+        good_measurement = crypto.sha256_hex(b"vmlinuz-onl")
+        logged = [digest for (_, desc, digest) in tpm.event_log if desc == "kernel"]
+        assert logged and logged[0] != good_measurement  # ...but evidence exists
+
+    def test_missing_stage_fails(self):
+        chain = BootChain(FirmwareRom(secure_boot=False))
+        assert not chain.boot().booted
+
+    def test_measured_boot_changes_pcr_on_kernel_change(self, signed_chain):
+        chain, _, mok, tpm = signed_chain
+        chain.boot()
+        good = tpm.read_pcr(PCR_KERNEL)
+        chain.install(sign_component(BootStage.KERNEL, b"vmlinuz-other", mok))
+        chain.boot()
+        assert tpm.read_pcr(PCR_KERNEL) != good
+
+
+class TestLuksVolume:
+    def test_passphrase_unlock_and_data_roundtrip(self):
+        vol = LuksVolume("data", "correct horse")
+        vol.unlock_with_passphrase("correct horse")
+        vol.write("customers.db", b"records")
+        assert vol.read("customers.db") == b"records"
+        assert vol.raw_ciphertext("customers.db") != b"records"
+
+    def test_wrong_passphrase_rejected(self):
+        vol = LuksVolume("data", "right")
+        with pytest.raises(AuthenticationError):
+            vol.unlock_with_passphrase("wrong")
+        assert vol.failed_unlocks == 1
+
+    def test_locked_volume_denies_io(self):
+        vol = LuksVolume("data", "p")
+        with pytest.raises(AuthorizationError):
+            vol.write("k", b"v")
+        vol.unlock_with_passphrase("p")
+        vol.write("k", b"v")
+        vol.lock()
+        with pytest.raises(AuthorizationError):
+            vol.read("k")
+
+    def test_tpm_binding_unlocks_on_good_state(self):
+        tpm = Tpm()
+        tpm.extend(8, b"kernel-good")
+        vol = LuksVolume("root", "fallback")
+        vol.bind_to_tpm(tpm, [8])
+        vol.unlock_with_tpm(tpm)
+        assert vol.unlocked
+
+    def test_tpm_unlock_fails_on_tampered_boot(self):
+        tpm = Tpm()
+        tpm.extend(8, b"kernel-good")
+        vol = LuksVolume("root", "fallback")
+        vol.bind_to_tpm(tpm, [8])
+        tpm.reset()
+        tpm.extend(8, b"kernel-evil")
+        with pytest.raises(AuthorizationError):
+            vol.unlock_with_tpm(tpm)
+        vol.unlock_with_passphrase("fallback")  # manual fallback still works
+        assert vol.unlocked
+
+    def test_no_tpm_slot_is_lesson3_case(self):
+        vol = LuksVolume("root", "manual only")
+        with pytest.raises(NotFoundError):
+            vol.unlock_with_tpm(Tpm())
+
+    def test_empty_passphrase_rejected(self):
+        with pytest.raises(ValueError):
+            LuksVolume("v", "")
+
+    def test_slot_limit(self):
+        vol = LuksVolume("v", "p0")
+        for i in range(1, LuksVolume.MAX_SLOTS):
+            vol.add_passphrase_slot(f"p{i}")
+        with pytest.raises(ValueError):
+            vol.add_passphrase_slot("one too many")
+
+
+class TestServicesAndUsers:
+    def test_listening_ports(self):
+        reg = ServiceRegistry()
+        reg.add(Service("sshd", port=22))
+        reg.add(Service("stopped", port=99, running=False))
+        reg.add(Service("daemon"))
+        assert set(reg.listening_ports()) == {22}
+
+    def test_user_privilege_queries(self):
+        db = UserDatabase()
+        db.add(User("root", uid=0))
+        db.add(User("admin", uid=1000, sudo=True, sudo_nopasswd=True))
+        db.add(User("joe", uid=1001))
+        assert len(db.root_equivalents()) == 2
+        assert [u.name for u in db.passwordless_sudoers()] == ["admin"]
+
+    def test_duplicate_user_rejected(self):
+        db = UserDatabase()
+        db.add(User("x", uid=1))
+        with pytest.raises(ValueError):
+            db.add(User("x", uid=2))
+
+
+class TestHost:
+    def test_stock_onl_host_shape(self):
+        host = stock_onl_olt_host()
+        assert host.distro.is_legacy
+        assert "telnetd" in host.services
+        assert host.services.get("sshd").config["PermitRootLogin"] == "yes"
+        assert len(host.users.passwordless_sudoers()) == 2
+        assert host.fs.glob_world_writable()
+
+    def test_cloud_host_is_modern(self):
+        host = cloud_host()
+        assert not host.distro.is_legacy
+        assert host.kernel.stack_protector
+        assert host.kernel.lsm == "apparmor"
+
+    def test_apt_signature_policy_enforced(self):
+        host = stock_onl_olt_host()
+        host.require_signed_apt()
+        unsigned = AptRepository("unsigned")
+        unsigned.publish(Package("tool", "1.0"))
+        with pytest.raises(IntegrityError):
+            host.apt_install(unsigned, "tool")
+
+        key = crypto.RsaKeyPair.generate(bits=512, seed=20)
+        signed = AptRepository("official", signing_keypair=key)
+        signed.publish(Package("tool", "1.0"))
+        host.trust_apt_key(key.public)
+        assert host.apt_install(signed, "tool").name == "tool"
+        assert host.install_log[-1].verified
+
+    def test_lesson3_new_package_blocked_on_old_base(self):
+        host = stock_onl_olt_host()
+        repo = AptRepository("backports")
+        repo.publish(Package("clevis", "19", min_distro_release=11,
+                             depends=("tpm2-tools",)))
+        with pytest.raises(ConfigurationError):
+            host.apt_install(repo, "clevis")
+        pkg = host.apt_install(repo, "clevis", force=True)
+        assert pkg.name == "clevis"
+        assert host.install_log[-1].conflict_risk
+
+    def test_missing_package_not_found(self):
+        host = stock_onl_olt_host()
+        with pytest.raises(NotFoundError):
+            host.apt_install(AptRepository("r"), "ghost")
+
+    def test_syscall_and_file_events_reach_bus(self):
+        host = stock_onl_olt_host()
+        syscalls, files = [], []
+        host.bus.subscribe("host.syscall", syscalls.append)
+        host.bus.subscribe("host.file", files.append)
+        host.syscall("nginx", "execve", path="/bin/sh")
+        host.fs.write("/etc/cron.d/evil", b"* * * * * root /tmp/x", actor="nginx")
+        assert syscalls[0].get("syscall") == "execve"
+        assert files[-1].get("path") == "/etc/cron.d/evil"
+
+    def test_boot_emits_event(self):
+        host = cloud_host()
+        events = []
+        host.bus.subscribe("host.boot", events.append)
+        host.boot()  # no boot components installed -> fails but emits
+        assert events and events[0].get("booted") is False

@@ -1,0 +1,143 @@
+"""Integration tests for the assembled platform and the full pipeline."""
+
+import pytest
+
+from repro.common.errors import CapacityError, QuarantineError
+from repro.orchestrator.kube.objects import PodSpec
+from repro.platform import (
+    BusinessUser, TenantDirectory, build_genio_deployment,
+    malicious_miner_image, ml_inference_image,
+)
+from repro.platform.tenants import EndUser, ResourceLease
+from repro.security.pipeline import SecurityPipeline
+
+
+@pytest.fixture(scope="module")
+def secured():
+    deployment = build_genio_deployment(n_olts=2, onus_per_olt=3)
+    posture = SecurityPipeline(deployment).apply()
+    return deployment, posture
+
+
+class TestDeploymentAssembly:
+    def test_three_layers_populated(self):
+        deployment = build_genio_deployment(n_olts=2, onus_per_olt=4)
+        inventory = deployment.deployment_inventory()
+        assert len(inventory["far-edge"]["devices"]) == 8
+        assert len(inventory["edge"]["devices"]) == 2
+        assert len(inventory["cloud"]["devices"]) == 1
+        latencies = [inventory[layer]["latency_ms"]
+                     for layer in ("far-edge", "edge", "cloud")]
+        assert latencies == sorted(latencies)   # closer = faster
+
+    def test_architecture_stack_mentions_paper_components(self):
+        deployment = build_genio_deployment(n_olts=1, onus_per_olt=1)
+        stack = deployment.architecture_stack()
+        flattened = " ".join(sum(stack.values(), []))
+        for component in ("ONOS", "VOLTHA", "KVM", "Kubernetes", "Proxmox",
+                          "Open Networking Linux"):
+            assert component in flattened
+
+    def test_onus_are_activated(self):
+        deployment = build_genio_deployment(n_olts=1, onus_per_olt=3)
+        assert all(onu.activated for onu in deployment.onus.values())
+
+    def test_vms_are_cluster_nodes(self):
+        deployment = build_genio_deployment(n_olts=2)
+        assert len(deployment.cloud_cluster.nodes) == 4
+
+
+class TestTenantDirectory:
+    def test_registration_and_lease(self):
+        directory = TenantDirectory()
+        directory.register_business_user(BusinessUser("acme", "tenant-acme"))
+        lease = directory.lease("acme", cpu_cores=4, memory_mb=8192,
+                                storage_gb=100, isolation="hard")
+        assert lease in directory.business_user("acme").leases
+
+    def test_lease_capacity_check(self):
+        directory = TenantDirectory()
+        directory.register_business_user(BusinessUser("acme", "t"))
+        with pytest.raises(CapacityError):
+            directory.lease("acme", cpu_cores=64, memory_mb=1, storage_gb=1,
+                            available_cpu=16)
+
+    def test_invalid_lease(self):
+        with pytest.raises(ValueError):
+            ResourceLease("t", cpu_cores=0, memory_mb=1, storage_gb=1)
+        with pytest.raises(ValueError):
+            ResourceLease("t", cpu_cores=1, memory_mb=1, storage_gb=1,
+                          isolation="medium")
+
+    def test_duplicate_registration(self):
+        directory = TenantDirectory()
+        directory.register_end_user(EndUser("u", "SER1"))
+        with pytest.raises(ValueError):
+            directory.register_end_user(EndUser("u", "SER1"))
+
+
+class TestSecurityPipeline:
+    def test_all_steps_complete(self, secured):
+        _, posture = secured
+        assert len(posture.steps_completed) == 7
+
+    def test_hosts_hardened(self, secured):
+        deployment, posture = secured
+        for host in deployment.all_hosts():
+            summary = posture.hardening[host.hostname]
+            assert summary.pass_rate_after["onl-scap"] == 1.0
+
+    def test_pon_encrypted_and_certificate_gated(self, secured):
+        deployment, _ = secured
+        for olt_node in deployment.olts:
+            assert olt_node.pon.olt.encryption_enabled
+            assert olt_node.pon.olt.auth_mode == "certificate"
+        assert all(onu.activated for onu in deployment.onus.values())
+
+    def test_secure_boot_attests(self, secured):
+        deployment, posture = secured
+        for host in deployment.all_hosts():
+            host.boot()
+            assert posture.boot.attest_host(host).trusted
+
+    def test_lesson3_storage_split(self, secured):
+        deployment, posture = secured
+        assert posture.storage["cloud-ctl-1"].unlock_mode == "auto"
+        for olt_node in deployment.olts:
+            assert posture.storage[olt_node.name].unlock_mode == \
+                "manual-passphrase"
+
+    def test_patching_reduced_findings(self, secured):
+        deployment, posture = secured
+        for olt_node in deployment.olts:
+            assert posture.patches_applied[olt_node.name] > 0
+            report = posture.host_scanner.scan(olt_node.host)
+            assert len(report.critical_or_exploitable) <= 3
+
+    def test_cluster_tightened(self, secured):
+        deployment, _ = secured
+        assert deployment.cloud_cluster.api.config.authorization_mode == "RBAC"
+        assert not deployment.cloud_cluster.api.config.anonymous_auth
+
+    def test_malicious_image_cannot_schedule(self, secured):
+        deployment, _ = secured
+        with pytest.raises(QuarantineError):
+            deployment.cloud_cluster.schedule(PodSpec(
+                name="miner", namespace="tenant-a",
+                image=malicious_miner_image(), tenant="tenant-a"))
+
+    def test_clean_image_schedules_and_runs_under_watch(self, secured):
+        deployment, posture = secured
+        pod = deployment.cloud_cluster.schedule(PodSpec(
+            name="ml", namespace="tenant-a", image=ml_inference_image(),
+            tenant="tenant-a"))
+        runtime = deployment.cloud_cluster.nodes[pod.node].runtime
+        record = runtime.syscall(pod.container_id, "execve", path="/bin/sh")
+        assert not record.allowed     # M17 blocks
+        assert posture.falco.alerts_by_rule().get("shell_in_container")  # M18 sees
+
+    def test_compliance_after_pipeline(self, secured):
+        _, posture = secured
+        reports = posture.compliance.run()
+        assert reports["kube-bench"].pass_rate == 1.0
+        assert reports["kube-hunter"].pass_rate == 1.0

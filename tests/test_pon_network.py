@@ -1,0 +1,218 @@
+"""Unit and integration tests for the PON substrate."""
+
+import pytest
+
+from repro.common import crypto
+from repro.common.errors import AuthenticationError, IntegrityError, NotFoundError
+from repro.pon.fiber import EthernetLink, FiberSpan, FiberTap
+from repro.pon.frames import Frame, FrameKind, GemFrame
+from repro.pon.gpon import GponDecryptor, GponKeyServer
+from repro.pon.macsec import MacsecChannel, MacsecPair, derive_sak
+from repro.pon.network import PonNetwork
+from repro.pon.olt import Olt
+from repro.pon.onu import Onu
+
+
+@pytest.fixture
+def network():
+    net = PonNetwork.build("olt-test", n_ports=1)
+    net.attach_onu(Onu("ONU-A", premises="home-a"))
+    net.attach_onu(Onu("ONU-B", premises="home-b"))
+    return net
+
+
+class TestFrames:
+    def test_frame_with_payload_copy(self):
+        frame = Frame(src="a", dst="b", payload=b"x")
+        updated = frame.with_payload(b"yy", secure=True)
+        assert frame.payload == b"x" and not frame.secure
+        assert updated.payload == b"yy" and updated.secure
+
+    def test_frame_with_header(self):
+        frame = Frame(src="a", dst="b").with_header("pn", 3)
+        assert frame.headers["pn"] == 3
+
+    def test_sizes_include_overhead(self):
+        frame = Frame(src="a", dst="b", payload=b"12345")
+        assert frame.size == 23
+        assert GemFrame(gem_port=1, inner=frame).size == 28
+
+
+class TestGponEncryption:
+    def test_key_establish_and_roundtrip(self):
+        server = GponKeyServer()
+        server.establish(1000)
+        gem = GemFrame(gem_port=1000, inner=Frame("olt", "onu", payload=b"secret"))
+        encrypted = server.encrypt(gem)
+        assert encrypted.encrypted and encrypted.inner.payload != b"secret"
+
+        dec = GponDecryptor()
+        key, index = server.export_key(1000)
+        dec.install_key(1000, key, index)
+        assert dec.decrypt(encrypted).payload == b"secret"
+
+    def test_rotation_bumps_index_and_old_key_fails(self):
+        server = GponKeyServer()
+        first = server.establish(1)
+        dec = GponDecryptor()
+        dec.install_key(1, first.key, first.index)
+        server.rotate(1)
+        gem = server.encrypt(GemFrame(gem_port=1, inner=Frame("o", "u", payload=b"p")))
+        with pytest.raises(IntegrityError):
+            dec.decrypt(gem)
+
+    def test_unknown_port_errors(self):
+        server = GponKeyServer()
+        with pytest.raises(NotFoundError):
+            server.key_for(99)
+        with pytest.raises(NotFoundError):
+            server.rotate(99)
+        with pytest.raises(NotFoundError):
+            GponDecryptor().decrypt(
+                GemFrame(gem_port=5, inner=Frame("a", "b"), encrypted=True)
+            )
+
+    def test_unencrypted_frame_passthrough(self):
+        frame = Frame("a", "b", payload=b"clear")
+        assert GponDecryptor().decrypt(GemFrame(gem_port=1, inner=frame)) is frame
+
+
+class TestMacsec:
+    def test_protect_validate_roundtrip(self):
+        sak = derive_sak(b"shared", "link-1")
+        sender, receiver = MacsecChannel(sak), MacsecChannel(sak)
+        frame = Frame("olt-1", "cloud", payload=b"telemetry")
+        protected = sender.protect(frame)
+        assert protected.secure and protected.payload != b"telemetry"
+        assert receiver.validate(protected).payload == b"telemetry"
+
+    def test_replay_rejected(self):
+        sak = b"s" * 32
+        sender, receiver = MacsecChannel(sak), MacsecChannel(sak)
+        protected = sender.protect(Frame("a", "b", payload=b"x"))
+        receiver.validate(protected)
+        with pytest.raises(IntegrityError):
+            receiver.validate(protected)
+        assert receiver.stats.replayed == 1
+
+    def test_replay_allowed_when_protection_off(self):
+        sak = b"s" * 32
+        sender = MacsecChannel(sak)
+        receiver = MacsecChannel(sak, replay_protect=False)
+        protected = sender.protect(Frame("a", "b", payload=b"x"))
+        receiver.validate(protected)
+        assert receiver.validate(protected).payload == b"x"
+
+    def test_wrong_sak_rejected(self):
+        protected = MacsecChannel(b"k1" * 16).protect(Frame("a", "b", payload=b"x"))
+        with pytest.raises(IntegrityError):
+            MacsecChannel(b"k2" * 16).validate(protected)
+
+    def test_missing_pn_rejected(self):
+        receiver = MacsecChannel(b"k" * 32)
+        with pytest.raises(IntegrityError):
+            receiver.validate(Frame("a", "b", payload=b"raw"))
+
+    def test_derive_sak_is_link_specific(self):
+        assert derive_sak(b"s", "l1") != derive_sak(b"s", "l2")
+
+    def test_pair_has_independent_directions(self):
+        pair = MacsecPair(b"k" * 32)
+        f1 = pair.a_to_b.protect(Frame("a", "b", payload=b"1"))
+        f2 = pair.b_to_a.protect(Frame("b", "a", payload=b"2"))
+        assert pair.b_to_a.validate(f2).payload == b"2"
+        assert pair.a_to_b.validate(f1).payload == b"1"
+
+
+class TestOltActivation:
+    def test_serial_mode_accepts_provisioned(self, network):
+        assert network.onus["ONU-A"].activated
+        assert network.olt.activation_log[-1].accepted
+
+    def test_unprovisioned_serial_rejected(self):
+        net = PonNetwork.build()
+        with pytest.raises(AuthenticationError):
+            net.olt.activate_onu(0, Onu("UNKNOWN"))
+
+    def test_duplicate_port_rejected(self):
+        net = PonNetwork.build()
+        with pytest.raises(ValueError):
+            net.olt.add_port(0, net.span(0))
+
+    def test_missing_port_rejected(self, network):
+        with pytest.raises(NotFoundError):
+            network.olt.activate_onu(7, Onu("ONU-A"))
+
+    def test_certificate_mode_without_verifier_rejects(self):
+        olt = Olt("olt-x", auth_mode="certificate")
+        span = FiberSpan("s", olt._clock)
+        olt.add_port(0, span)
+        olt.provision_serial("ONU-A")
+        with pytest.raises(AuthenticationError):
+            olt.activate_onu(0, Onu("ONU-A"))
+
+    def test_invalid_auth_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Olt("bad", auth_mode="open")
+
+
+class TestTrafficFlow:
+    def test_downstream_broadcast_reaches_only_owner(self, network):
+        network.send_downstream("ONU-A", b"hello A")
+        assert network.delivered_to("ONU-A")[0].payload == b"hello A"
+        assert network.delivered_to("ONU-B") == []
+
+    def test_plaintext_visible_to_tap(self, network):
+        tap = FiberTap(name="t")
+        network.span().attach_tap(tap)
+        network.send_downstream("ONU-A", b"visible")
+        assert tap.captured[0].inner.payload == b"visible"
+
+    def test_encrypted_hidden_from_tap_but_delivered(self):
+        net = PonNetwork.build()
+        net.olt.enable_encryption()
+        net.attach_onu(Onu("ONU-A"))
+        tap = FiberTap(name="t")
+        net.span().attach_tap(tap)
+        net.send_downstream("ONU-A", b"secret")
+        assert tap.captured[0].encrypted
+        assert tap.captured[0].inner.payload != b"secret"
+        assert net.delivered_to("ONU-A")[0].payload == b"secret"
+
+    def test_other_onu_cannot_decrypt_foreign_flow(self):
+        net = PonNetwork.build()
+        net.olt.enable_encryption()
+        net.attach_onu(Onu("ONU-A"))
+        net.attach_onu(Onu("ONU-B"))
+        net.send_downstream("ONU-A", b"for A only")
+        assert net.onus["ONU-B"].undecryptable == 1
+        assert net.delivered_to("ONU-B") == []
+
+    def test_upstream_reaches_olt(self, network):
+        network.send_upstream("ONU-A", b"meter reading")
+        assert network.olt.upstream_frames[0].payload == b"meter reading"
+
+    def test_upstream_from_inactive_rejected(self):
+        net = PonNetwork.build()
+        with pytest.raises(ValueError):
+            net.send_upstream("GHOST", b"x")
+
+    def test_stats_accumulate(self, network):
+        for _ in range(10):
+            network.send_downstream("ONU-A", b"x" * 100)
+        assert network.stats.frames_sent == 10
+        assert network.stats.bytes_sent == 10 * 123
+        assert network.stats.goodput_bps > 0
+
+    def test_ethernet_link_carries_and_taps(self):
+        from repro.common.clock import SimClock
+        link = EthernetLink("l", SimClock())
+        got = []
+        link.attach_receiver(got.append)
+        tap = FiberTap(name="t")
+        link.attach_tap(tap)
+        delay = link.transmit(Frame("a", "b", payload=b"x" * 100), 118)
+        assert got and tap.captured and delay > 0
+        assert link.tapped
+        link.detach_tap(tap)
+        assert not link.tapped

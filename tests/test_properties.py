@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) over core security invariants.
+
+These complement the example-based suites: each property states an
+invariant the security arguments rest on, and hypothesis hunts for
+counterexamples across the input space.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.common import crypto
+from repro.common.errors import IntegrityError
+from repro.osmodel.packages import compare_versions, version_in_range
+from repro.osmodel.tpm import Tpm
+from repro.pon.frames import Frame, GemFrame
+from repro.pon.gpon import GponDecryptor, GponKeyServer
+from repro.pon.macsec import MacsecChannel
+from repro.security.malware.yara import YaraRule
+from repro.security.sandbox.peach import TenancyConfig, peach_score
+from repro.security.vulnmgmt.cvedb import CveRecord, Severity
+
+_version = st.lists(st.integers(min_value=0, max_value=30),
+                    min_size=1, max_size=4).map(
+    lambda parts: ".".join(map(str, parts)))
+
+
+class TestVersionOrderProperties:
+    @given(_version)
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive(self, version):
+        assert compare_versions(version, version) == 0
+
+    @given(_version, _version, _version)
+    @settings(max_examples=80, deadline=None)
+    def test_transitive(self, a, b, c):
+        if compare_versions(a, b) <= 0 and compare_versions(b, c) <= 0:
+            assert compare_versions(a, c) <= 0
+
+    @given(_version, _version)
+    @settings(max_examples=60, deadline=None)
+    def test_range_boundaries(self, introduced, fixed):
+        assume(compare_versions(introduced, fixed) < 0)
+        assert version_in_range(introduced, introduced, fixed)
+        assert not version_in_range(fixed, introduced, fixed)
+
+
+class TestCveProperties:
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_severity_total_and_monotone(self, cvss):
+        severity = Severity.from_cvss(cvss)
+        assert severity in Severity
+        higher = Severity.from_cvss(min(10.0, cvss + 2.5))
+        order = [Severity.LOW, Severity.MEDIUM, Severity.HIGH,
+                 Severity.CRITICAL]
+        assert order.index(higher) >= order.index(severity)
+
+    @given(_version, _version, _version)
+    @settings(max_examples=60, deadline=None)
+    def test_affects_respects_fix(self, introduced, version, fixed):
+        assume(compare_versions(introduced, fixed) < 0)
+        cve = CveRecord("CVE-P", "pkg", "debian", introduced, fixed, 7.0)
+        if cve.affects("pkg", version):
+            assert compare_versions(version, fixed) < 0
+            assert compare_versions(version, introduced) >= 0
+
+
+class TestTpmProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=32), min_size=1,
+                    max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_extend_order_sensitive(self, measurements):
+        assume(measurements != list(reversed(measurements)))
+        forward, backward = Tpm(), Tpm()
+        for m in measurements:
+            forward.extend(0, m)
+        for m in reversed(measurements):
+            backward.extend(0, m)
+        # Different order -> different PCR (collision-free in practice).
+        assert forward.read_pcr(0) != backward.read_pcr(0)
+
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1,
+                    max_size=5),
+           st.binary(min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_seal_unseal_iff_same_history(self, history, extra):
+        tpm = Tpm()
+        for m in history:
+            tpm.extend(8, m)
+        tpm.seal("s", b"secret", [8])
+        assert tpm.unseal("s") == b"secret"
+        tpm.extend(8, extra)
+        with pytest.raises(Exception):
+            tpm.unseal("s")
+
+
+class TestChannelProperties:
+    @given(st.binary(max_size=512))
+    @settings(max_examples=40, deadline=None)
+    def test_macsec_roundtrip_any_payload(self, payload):
+        sak = b"k" * 32
+        sender, receiver = MacsecChannel(sak), MacsecChannel(sak)
+        protected = sender.protect(Frame("a", "b", payload=payload))
+        assert receiver.validate(protected).payload == payload
+
+    @given(st.binary(min_size=1, max_size=256), st.integers(min_value=0))
+    @settings(max_examples=40, deadline=None)
+    def test_macsec_any_payload_flip_rejected(self, payload, position):
+        sak = b"k" * 32
+        sender, receiver = MacsecChannel(sak), MacsecChannel(sak)
+        protected = sender.protect(Frame("a", "b", payload=payload))
+        blob = bytearray(protected.payload)
+        blob[position % len(blob)] ^= 0x01
+        with pytest.raises(IntegrityError):
+            receiver.validate(protected.with_payload(bytes(blob), secure=True))
+
+    @given(st.binary(max_size=512), st.integers(min_value=1, max_value=4000))
+    @settings(max_examples=40, deadline=None)
+    def test_gpon_roundtrip_and_isolation(self, payload, gem_port):
+        server = GponKeyServer()
+        server.establish(gem_port)
+        gem = server.encrypt(GemFrame(gem_port=gem_port,
+                                      inner=Frame("olt", "onu",
+                                                  payload=payload)))
+        subscriber = GponDecryptor()
+        key, index = server.export_key(gem_port)
+        subscriber.install_key(gem_port, key, index)
+        assert subscriber.decrypt(gem).payload == payload
+        # A neighbour with a *different* key never reads the flow:
+        neighbour = GponDecryptor()
+        neighbour.install_key(gem_port, crypto.random_key(), index)
+        with pytest.raises(IntegrityError):
+            neighbour.decrypt(gem)
+
+
+class TestSignatureProperties:
+    KEY = crypto.RsaKeyPair.generate(bits=512, seed=0xF00)
+    OTHER = crypto.RsaKeyPair.generate(bits=512, seed=0xF01)
+
+    @given(st.binary(min_size=1, max_size=256))
+    @settings(max_examples=40, deadline=None)
+    def test_sign_verify_any_message(self, message):
+        signature = self.KEY.sign(message)
+        assert self.KEY.public.verify(message, signature)
+        assert not self.OTHER.public.verify(message, signature)
+
+    @given(st.binary(min_size=1, max_size=128), st.binary(min_size=1,
+                                                          max_size=128))
+    @settings(max_examples=40, deadline=None)
+    def test_signature_not_transferable(self, message, other_message):
+        assume(message != other_message)
+        signature = self.KEY.sign(message)
+        assert not self.KEY.public.verify(other_message, signature)
+
+
+class TestYaraProperties:
+    @given(st.binary(max_size=256), st.binary(min_size=2, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_any_rule_matches_iff_string_present(self, haystack, needle):
+        rule = YaraRule("r", strings=(needle,), condition="any")
+        assert rule.matches(haystack) == (needle in haystack)
+        assert rule.matches(haystack + needle)
+
+    @given(st.lists(st.binary(min_size=2, max_size=8), min_size=2,
+                    max_size=5, unique=True),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_threshold_semantics(self, needles, threshold):
+        assume(threshold <= len(needles))
+        rule = YaraRule("r", strings=tuple(needles), condition=threshold)
+        assert rule.matches(b"|".join(needles))
+        if threshold > 1:
+            lone = needles[0]
+            assume(not any(n in lone for n in needles[1:]))
+            assert not rule.matches(lone)
+
+
+class TestPeachProperties:
+    _flags = st.booleans()
+
+    @given(seccomp=_flags, lsm=_flags, caps=_flags, scanned=_flags,
+           monitored=_flags, deny=_flags)
+    @settings(max_examples=60, deadline=None)
+    def test_scores_bounded_and_monotone_in_hardening(
+            self, seccomp, lsm, caps, scanned, monitored, deny):
+        weaker = TenancyConfig(
+            name="w", isolation_unit="container",
+            seccomp_enforced=seccomp, lsm_policies_enforced=lsm,
+            capabilities_minimal=caps, images_scanned=scanned,
+            runtime_monitoring=monitored, network_default_deny=deny)
+        assessment = peach_score(weaker)
+        assert 0.0 <= assessment.overall <= 1.0
+        # Flipping every knob to secure never lowers the score:
+        stronger = TenancyConfig(
+            name="s", isolation_unit="container",
+            seccomp_enforced=True, lsm_policies_enforced=True,
+            capabilities_minimal=True, images_scanned=True,
+            runtime_monitoring=True, network_default_deny=True)
+        assert peach_score(stronger).overall >= assessment.overall

@@ -1,0 +1,64 @@
+"""Property-based tests over platform-level invariants."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CapacityError
+from repro.platform import build_genio_deployment, ml_inference_image
+from repro.platform.genio import LAYER_LATENCY_MS
+from repro.platform.placement import LayerPlacer, WorkloadRequirement
+from repro.security.threatmodel.regulatory import assess_cra_readiness
+from repro.security.threatmodel.risk import ALL_MITIGATIONS, assess_residual_risk
+
+
+class TestPlacementProperties:
+    @given(latency=st.floats(min_value=0.5, max_value=200.0),
+           cpu=st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_placements_always_satisfy_latency_bound(self, latency, cpu):
+        # Fresh deployment per example: placements must not share capacity
+        # across hypothesis examples or the property becomes stateful.
+        deployment = build_genio_deployment(n_olts=1, onus_per_olt=2)
+        placer = LayerPlacer(deployment)
+        try:
+            placement = placer.place(WorkloadRequirement(
+                "w", ml_inference_image(), "tenant-a",
+                max_latency_ms=latency, cpu_cores=cpu, memory_mb=128))
+        except CapacityError:
+            # Only legitimate when no layer's latency qualifies.
+            assert latency < min(LAYER_LATENCY_MS.values())
+            return
+        assert placement.latency_ms <= latency
+        assert placement.layer in LAYER_LATENCY_MS
+
+
+class TestRiskProperties:
+    _mitigation_sets = st.sets(st.sampled_from(ALL_MITIGATIONS), max_size=18)
+
+    @given(_mitigation_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_residual_never_exceeds_inherent(self, applied):
+        for assessment in assess_residual_risk(sorted(applied)):
+            assert 0 <= assessment.residual_score <= assessment.inherent_score
+
+    @given(_mitigation_sets, st.sampled_from(ALL_MITIGATIONS))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_mitigation_never_increases_risk(self, applied, extra):
+        base = {a.threat_id: a.residual_score
+                for a in assess_residual_risk(sorted(applied))}
+        more = {a.threat_id: a.residual_score
+                for a in assess_residual_risk(sorted(applied | {extra}))}
+        for threat_id, score in more.items():
+            assert score <= base[threat_id] + 1e-9
+
+    @given(_mitigation_sets, st.sampled_from(ALL_MITIGATIONS))
+    @settings(max_examples=60, deadline=None)
+    def test_cra_satisfaction_is_monotone(self, applied, extra):
+        order = {"unsatisfied": 0, "partial": 1, "satisfied": 2}
+        base = {s.requirement.req_id: order[s.state]
+                for s in assess_cra_readiness(sorted(applied)).statuses}
+        more = {s.requirement.req_id: order[s.state]
+                for s in assess_cra_readiness(sorted(applied | {extra})).statuses}
+        for req_id, level in more.items():
+            assert level >= base[req_id]

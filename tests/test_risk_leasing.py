@@ -1,0 +1,116 @@
+"""Tests for residual-risk assessment and lease provisioning."""
+
+import pytest
+
+from repro.common.errors import CapacityError
+from repro.platform import build_genio_deployment
+from repro.platform.leasing import LeaseProvisioner
+from repro.platform.tenants import ResourceLease
+from repro.security.threatmodel.risk import (
+    ALL_MITIGATIONS, assess_residual_risk, portfolio_risk,
+)
+from repro.security.threatmodel.stride import RiskLevel
+
+
+class TestResidualRisk:
+    def test_no_mitigations_equals_inherent(self):
+        assessments = assess_residual_risk([])
+        for assessment in assessments:
+            assert assessment.residual_score == assessment.inherent_score
+            assert assessment.reduction == 0.0
+            assert assessment.applied == []
+
+    def test_all_mitigations_reduce_every_threat(self):
+        assessments = assess_residual_risk(ALL_MITIGATIONS)
+        for assessment in assessments:
+            assert assessment.residual_score < assessment.inherent_score
+            assert assessment.missing == []
+            assert assessment.reduction > 0.5
+
+    def test_partial_application_partial_reduction(self):
+        only_infra = [m for m in ALL_MITIGATIONS
+                      if m in ("M1", "M2", "M3", "M4")]
+        assessments = {a.threat_id: a for a in assess_residual_risk(only_infra)}
+        assert assessments["T1"].reduction > 0.7       # both M3+M4 applied
+        assert assessments["T8"].reduction == 0.0      # nothing applied
+        assert assessments["T8"].missing == ["M16", "M17", "M18"]
+
+    def test_mitigations_compound(self):
+        one = {a.threat_id: a for a in assess_residual_risk(["M3"])}
+        both = {a.threat_id: a for a in assess_residual_risk(["M3", "M4"])}
+        assert both["T1"].residual_score < one["T1"].residual_score
+
+    def test_unknown_mitigation_rejected(self):
+        with pytest.raises(ValueError):
+            assess_residual_risk(["M99"])
+
+    def test_ordering_most_residual_first(self):
+        assessments = assess_residual_risk(["M3", "M4"])
+        scores = [a.residual_score for a in assessments]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_portfolio_summary(self):
+        before = portfolio_risk(assess_residual_risk([]))
+        after = portfolio_risk(assess_residual_risk(ALL_MITIGATIONS))
+        assert after["residual_total"] < before["residual_total"]
+        assert after["overall_reduction"] > 0.5
+        assert after["threats_above_medium"] < before["threats_above_medium"]
+
+    def test_residual_level_banding(self):
+        fully = assess_residual_risk(ALL_MITIGATIONS)
+        assert all(a.residual_level in (RiskLevel.LOW, RiskLevel.MEDIUM)
+                   for a in fully)
+
+
+class TestLeaseProvisioning:
+    @pytest.fixture
+    def deployment(self):
+        return build_genio_deployment(n_olts=2, onus_per_olt=2)
+
+    def test_hard_lease_gets_dedicated_vm(self, deployment):
+        provisioner = LeaseProvisioner(deployment)
+        lease = ResourceLease("tenant-a", cpu_cores=4, memory_mb=8192,
+                              storage_gb=100, isolation="hard")
+        result = provisioner.provision(lease)
+        assert result.isolation == "hard" and result.vm_id
+        vm = next(vm for vm in deployment.worker_vms()
+                  if vm.id == result.vm_id)
+        assert vm.tenant == "tenant-a"
+        assert vm.runtime.node_name in deployment.cloud_cluster.nodes
+
+    def test_soft_lease_carves_shared_runtime(self, deployment):
+        provisioner = LeaseProvisioner(deployment)
+        lease = ResourceLease("tenant-a", cpu_cores=2, memory_mb=2048,
+                              storage_gb=50, isolation="soft")
+        result = provisioner.provision(lease)
+        assert result.isolation == "soft"
+        assert result.shared_node
+        assert result.limits.cpu_shares == 2048
+
+    def test_hard_lease_capacity_exhaustion(self, deployment):
+        provisioner = LeaseProvisioner(deployment)
+        big = ResourceLease("tenant-a", cpu_cores=8, memory_mb=32768,
+                            storage_gb=100, isolation="hard")
+        provisioner.provision(big)
+        provisioner.provision(big)   # second OLT still has room
+        with pytest.raises(CapacityError):
+            provisioner.provision(big)
+
+    def test_soft_lease_respects_tenancy(self, deployment):
+        """tenant-b's soft lease never lands on tenant-a's VM."""
+        provisioner = LeaseProvisioner(deployment)
+        lease = ResourceLease("tenant-b", cpu_cores=1, memory_mb=1024,
+                              storage_gb=10, isolation="soft")
+        result = provisioner.provision(lease)
+        vm = deployment.cloud_cluster.nodes[result.shared_node]
+        assert vm.tenant in ("tenant-b", "platform")
+
+    def test_summary(self, deployment):
+        provisioner = LeaseProvisioner(deployment)
+        provisioner.provision(ResourceLease("tenant-a", 2, 2048, 10,
+                                            isolation="hard"))
+        provisioner.provision(ResourceLease("tenant-a", 1, 1024, 10,
+                                            isolation="soft"))
+        summary = provisioner.tenancy_summary()
+        assert summary["hard"] == 1 and summary["soft"] == 1
+        assert summary["dedicated_vms"]

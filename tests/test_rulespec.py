@@ -1,0 +1,120 @@
+"""Tests for declarative Falco rule compilation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import Event
+from repro.platform.workloads import ml_inference_image
+from repro.security.monitor import FalcoEngine, Priority
+from repro.security.monitor.rulespec import (
+    compile_condition, compile_rule, compile_ruleset,
+)
+from repro.virt.container import ContainerSpec
+from repro.virt.runtime import ContainerRuntime
+
+
+def event(**payload):
+    return Event(topic="runtime.syscall", source="n", timestamp=0.0,
+                 payload=payload)
+
+
+class TestConditionCompiler:
+    def test_leaf_operators(self):
+        assert compile_condition({"field": "syscall",
+                                  "equals": "execve"})(event(syscall="execve"))
+        assert compile_condition({"field": "path", "startswith": "/tmp/"})(
+            event(path="/tmp/x"))
+        assert compile_condition({"field": "path", "endswith": ".sh"})(
+            event(path="/a/b.sh"))
+        assert compile_condition({"field": "dst", "contains": "evil"})(
+            event(dst="pool.evil.example"))
+        assert compile_condition({"field": "syscall",
+                                  "in": ["a", "b"]})(event(syscall="b"))
+        assert compile_condition({"field": "count", "gt": 3})(event(count=5))
+        assert compile_condition({"field": "count", "lt": 3})(event(count=1))
+        assert compile_condition({"field": "path", "exists": True})(
+            event(path="/x"))
+        assert compile_condition({"field": "path", "exists": False})(event())
+
+    def test_missing_field_is_false(self):
+        assert not compile_condition({"field": "path",
+                                      "startswith": "/"})(event())
+
+    def test_boolean_combinators(self):
+        condition = compile_condition({"all": [
+            {"field": "syscall", "equals": "execve"},
+            {"not": {"field": "path", "startswith": "/app/"}},
+        ]})
+        assert condition(event(syscall="execve", path="/tmp/x"))
+        assert not condition(event(syscall="execve", path="/app/main"))
+        any_condition = compile_condition({"any": [
+            {"field": "a", "equals": 1}, {"field": "b", "equals": 2}]})
+        assert any_condition(event(b=2))
+        assert not any_condition(event(a=9))
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compile_condition({"field": "x"})               # no operator
+        with pytest.raises(ConfigurationError):
+            compile_condition({"field": "x", "equals": 1, "in": [1]})
+        with pytest.raises(ConfigurationError):
+            compile_condition({"equals": 1})                # no field
+
+
+class TestRuleCompiler:
+    SPEC = {
+        "rule": "tmp_exec",
+        "desc": "execution from /tmp",
+        "priority": "ERROR",
+        "topics": ["runtime.syscall"],
+        "condition": {"all": [
+            {"field": "syscall", "in": ["execve", "execveat"]},
+            {"field": "path", "startswith": "/tmp/"}]},
+        "exceptions": [{"field": "tenant", "equals": "ops-debug"}],
+    }
+
+    def test_compiled_rule_fires_in_engine(self):
+        engine = FalcoEngine(rules=compile_ruleset([self.SPEC]))
+        runtime = ContainerRuntime("n")
+        engine.attach(runtime.bus)
+        container = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                              tenant="tenant-a"))
+        runtime.syscall(container.id, "execve", path="/tmp/dropper")
+        runtime.syscall(container.id, "execve", path="/app/main")
+        assert engine.alerts_by_rule() == {"tmp_exec": 1}
+        assert engine.alerts[0].priority is Priority.ERROR
+
+    def test_declarative_exception_suppresses(self):
+        engine = FalcoEngine(rules=compile_ruleset([self.SPEC]))
+        runtime = ContainerRuntime("n")
+        engine.attach(runtime.bus)
+        debug = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                          tenant="ops-debug"))
+        runtime.syscall(debug.id, "execve", path="/tmp/profiler")
+        assert engine.alerts == []
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compile_rule({"rule": "x", "desc": "d", "topics": []})
+
+    def test_bad_priority_rejected(self):
+        bad = dict(self.SPEC, priority="PANIC")
+        with pytest.raises(ConfigurationError):
+            compile_rule(bad)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compile_ruleset([self.SPEC, dict(self.SPEC)])
+
+    def test_custom_rules_extend_defaults(self):
+        from repro.security.monitor.falco import default_rules
+        engine = FalcoEngine(rules=default_rules()
+                             + compile_ruleset([self.SPEC]))
+        runtime = ContainerRuntime("n")
+        engine.attach(runtime.bus)
+        container = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                              tenant="tenant-a"))
+        runtime.syscall(container.id, "execve", path="/tmp/x")
+        runtime.syscall(container.id, "execve", path="/bin/sh")
+        fired = engine.alerts_by_rule()
+        assert fired["tmp_exec"] == 1 and fired["shell_in_container"] == 1

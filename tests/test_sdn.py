@@ -1,0 +1,129 @@
+"""Unit tests for the SDN substrate (ONOS-like and VOLTHA-like)."""
+
+import pytest
+
+from repro.common.errors import AuthenticationError, AuthorizationError, NotFoundError
+from repro.sdn.controller import (
+    PRODUCTION_REQUIRED, ApiAccount, ApiCapability, SdnController,
+)
+from repro.sdn.voltha import ServiceAccount, VolthaCore
+
+
+class TestSdnControllerDefaults:
+    def test_ships_with_default_credentials(self):
+        controller = SdnController()
+        report = controller.exposure_report()
+        assert report["default_credentials"] == ["onos"]
+        assert report["unnecessary_open"]  # shell, debug, raw logs all open
+
+    def test_default_account_can_do_anything(self):
+        controller = SdnController()
+        result = controller.call("onos", ApiCapability.SHELL_ACCESS,
+                                 password="rocks")
+        assert result["status"] == "shell opened"
+
+    def test_bad_password_rejected(self):
+        controller = SdnController()
+        with pytest.raises(AuthenticationError):
+            controller.call("onos", ApiCapability.NETWORK_CONFIG, password="nope")
+
+    def test_unknown_account_rejected(self):
+        with pytest.raises(AuthenticationError):
+            SdnController().call("ghost", ApiCapability.NETWORK_CONFIG)
+
+
+class TestSdnControllerHardened:
+    @pytest.fixture
+    def hardened(self):
+        controller = SdnController()
+        controller.remove_account("onos")
+        controller.add_account(ApiAccount(
+            username="mgmt-svc", tls_certificate_fp="fp-mgmt",
+            capabilities=set(PRODUCTION_REQUIRED)))
+        controller.require_tls()
+        for capability in (ApiCapability.SHELL_ACCESS,
+                           ApiCapability.LOW_LEVEL_DEBUG,
+                           ApiCapability.RAW_LOG_RETRIEVAL):
+            controller.block_capability(capability)
+        controller.deactivate_app("org.onosproject.gui2")
+        controller.deactivate_app("org.onosproject.cli")
+        return controller
+
+    def test_production_capabilities_still_work(self, hardened):
+        result = hardened.call("mgmt-svc", ApiCapability.DEVICE_REGISTRATION,
+                               tls_certificate_fp="fp-mgmt", device_id="olt-1")
+        assert result["status"] == "registered"
+        assert hardened.devices["olt-1"].registered
+
+    def test_blocked_capability_denied_even_with_grant(self, hardened):
+        hardened.accounts["mgmt-svc"].capabilities.add(ApiCapability.SHELL_ACCESS)
+        with pytest.raises(AuthorizationError):
+            hardened.call("mgmt-svc", ApiCapability.SHELL_ACCESS,
+                          tls_certificate_fp="fp-mgmt")
+
+    def test_tls_certificate_required(self, hardened):
+        with pytest.raises(AuthenticationError):
+            hardened.call("mgmt-svc", ApiCapability.NETWORK_CONFIG,
+                          tls_certificate_fp="forged")
+
+    def test_password_accounts_locked_out_under_tls(self, hardened):
+        hardened.add_account(ApiAccount(username="legacy", password="pw",
+                                        capabilities=set(PRODUCTION_REQUIRED)))
+        with pytest.raises(AuthenticationError):
+            hardened.call("legacy", ApiCapability.NETWORK_CONFIG, password="pw")
+
+    def test_exposure_report_clean(self, hardened):
+        report = hardened.exposure_report()
+        assert report["default_credentials"] == []
+        assert report["unnecessary_open"] == []
+        assert report["tls_required"]
+
+    def test_flow_programming_on_registered_device(self, hardened):
+        hardened.call("mgmt-svc", ApiCapability.DEVICE_REGISTRATION,
+                      tls_certificate_fp="fp-mgmt", device_id="olt-1")
+        hardened.call("mgmt-svc", ApiCapability.FLOW_PROGRAMMING,
+                      tls_certificate_fp="fp-mgmt", device_id="olt-1",
+                      match="vlan=100", action="fwd")
+        assert hardened.devices["olt-1"].flows
+
+    def test_flow_on_unknown_device(self, hardened):
+        with pytest.raises(NotFoundError):
+            hardened.call("mgmt-svc", ApiCapability.FLOW_PROGRAMMING,
+                          tls_certificate_fp="fp-mgmt", device_id="nope")
+
+
+class TestVoltha:
+    @pytest.fixture
+    def voltha(self):
+        core = VolthaCore()
+        core.add_account(ServiceAccount("admin-svc", "fp-admin", admin=True))
+        core.add_account(ServiceAccount("viewer", "fp-view", admin=False))
+        core.enforce_client_certs()
+        return core
+
+    def test_device_lifecycle(self, voltha):
+        voltha.preprovision("admin-svc", "olt-1", "openolt",
+                            tls_certificate_fp="fp-admin")
+        device = voltha.enable("admin-svc", "olt-1", tls_certificate_fp="fp-admin")
+        assert device.admin_state == "ENABLED"
+        device = voltha.disable("admin-svc", "olt-1", tls_certificate_fp="fp-admin")
+        assert device.admin_state == "DISABLED"
+
+    def test_admin_required_for_lifecycle(self, voltha):
+        with pytest.raises(AuthorizationError):
+            voltha.preprovision("viewer", "olt-1", "openolt",
+                                tls_certificate_fp="fp-view")
+
+    def test_viewer_can_list(self, voltha):
+        voltha.preprovision("admin-svc", "olt-1", "openolt",
+                            tls_certificate_fp="fp-admin")
+        devices = voltha.list_devices("viewer", tls_certificate_fp="fp-view")
+        assert [d.device_id for d in devices] == ["olt-1"]
+
+    def test_certificate_mismatch_rejected(self, voltha):
+        with pytest.raises(AuthenticationError):
+            voltha.list_devices("viewer", tls_certificate_fp="stolen")
+
+    def test_enable_unknown_device(self, voltha):
+        with pytest.raises(NotFoundError):
+            voltha.enable("admin-svc", "ghost", tls_certificate_fp="fp-admin")

@@ -1,0 +1,202 @@
+"""Unit tests for the virtualization substrate."""
+
+import pytest
+
+from repro.common.errors import CapacityError, NotFoundError, QuarantineError
+from repro.virt.container import (
+    DANGEROUS_CAPABILITIES, DEFAULT_CAPABILITIES, Container, ContainerSpec,
+    ContainerState, Mount, ResourceLimits,
+)
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.image import ContainerImage, ImageLayer, ImagePackage
+from repro.virt.runtime import ContainerRuntime, RuntimeConfig
+from repro.virt.vm import VirtualMachine, VmSpec
+
+
+def make_image(name="web-app", **kwargs):
+    image = ContainerImage(name=name, **kwargs)
+    image.add_layer({"/app/main.py": b"print('hi')"}, created_by="COPY app")
+    return image
+
+
+class TestImage:
+    def test_digest_changes_with_content(self):
+        a, b = make_image(), make_image()
+        assert a.digest() == b.digest()
+        b.add_layer({"/extra": b"x"})
+        assert a.digest() != b.digest()
+
+    def test_overlay_semantics(self):
+        image = make_image()
+        image.add_layer({"/app/main.py": b"print('patched')"})
+        assert image.merged_files()["/app/main.py"] == b"print('patched')"
+
+    def test_files_matching(self):
+        image = make_image()
+        image.add_layer({"/app/util.py": b"", "/app/data.json": b"{}"})
+        assert set(image.files_matching(".py")) == {"/app/main.py", "/app/util.py"}
+
+    def test_env_secrets_detection(self):
+        image = make_image()
+        image.env.update({"DB_PASSWORD": "x", "API_KEY": "y", "LOG_LEVEL": "info"})
+        assert set(image.env_secrets()) == {"DB_PASSWORD", "API_KEY"}
+
+    def test_reference(self):
+        assert make_image().reference == "web-app:latest"
+
+
+class TestContainerEscapeVectors:
+    def test_default_spec_has_no_vectors(self):
+        spec = ContainerSpec(image=make_image())
+        assert Container("c1", spec).escape_vectors() == []
+
+    def test_privileged_opens_everything(self):
+        spec = ContainerSpec(image=make_image(), privileged=True)
+        container = Container("c1", spec)
+        assert spec.effective_capabilities() >= DANGEROUS_CAPABILITIES
+        assert any("privileged" in v for v in container.escape_vectors())
+
+    def test_cap_sys_admin_vector(self):
+        spec = ContainerSpec(image=make_image(),
+                             capabilities=set(DEFAULT_CAPABILITIES) | {"CAP_SYS_ADMIN"})
+        assert any("CAP_SYS_ADMIN" in v
+                   for v in Container("c", spec).escape_vectors())
+
+    def test_sensitive_mount_vector(self):
+        spec = ContainerSpec(image=make_image(),
+                             mounts=[Mount("/etc", "/host-etc")])
+        assert any("sensitive mount" in v
+                   for v in Container("c", spec).escape_vectors())
+
+    def test_read_only_sensitive_mount_softens(self):
+        spec = ContainerSpec(image=make_image(),
+                             mounts=[Mount("/etc", "/host-etc", read_only=True)])
+        assert Container("c", spec).escape_vectors() == []
+
+    def test_ptrace_needs_host_pid(self):
+        base = set(DEFAULT_CAPABILITIES) | {"CAP_SYS_PTRACE"}
+        no_hostpid = ContainerSpec(image=make_image(), capabilities=set(base))
+        with_hostpid = ContainerSpec(image=make_image(), capabilities=set(base),
+                                     host_pid=True)
+        assert Container("a", no_hostpid).escape_vectors() == []
+        assert Container("b", with_hostpid).escape_vectors() != []
+
+
+class TestRuntime:
+    @pytest.fixture
+    def runtime(self):
+        return ContainerRuntime("node-1", cpu_capacity=4.0,
+                                memory_capacity_mb=8192)
+
+    def test_run_and_stop(self, runtime):
+        container = runtime.run(ContainerSpec(image=make_image()))
+        assert container.running
+        runtime.stop(container.id)
+        assert container.state is ContainerState.STOPPED
+
+    def test_admission_hook_blocks(self, runtime):
+        runtime.add_admission_hook(
+            lambda spec: "malware found" if spec.image.name == "evil" else None)
+        runtime.run(ContainerSpec(image=make_image("good")))
+        with pytest.raises(QuarantineError):
+            runtime.run(ContainerSpec(image=make_image("evil")))
+
+    def test_capacity_enforced_on_guaranteed_resources(self, runtime):
+        big = ResourceLimits(cpu_shares=8 * 1024, memory_mb=1024)
+        with pytest.raises(CapacityError):
+            runtime.run(ContainerSpec(image=make_image(), limits=big))
+
+    def test_seccomp_default_blocks_dangerous_syscalls(self, runtime):
+        container = runtime.run(ContainerSpec(image=make_image()))
+        record = runtime.syscall(container.id, "init_module")
+        assert not record.allowed
+        assert record.blocked_by == "seccomp:default"
+        assert runtime.blocked_actions == 1
+
+    def test_unconfined_seccomp_still_needs_capability(self, runtime):
+        """Disabling seccomp alone is not enough: the kernel capability
+        check still denies module loading without CAP_SYS_MODULE."""
+        container = runtime.run(ContainerSpec(image=make_image(),
+                                              seccomp_profile="unconfined"))
+        record = runtime.syscall(container.id, "init_module")
+        assert not record.allowed
+        assert record.blocked_by == "capability:CAP_SYS_MODULE"
+
+    def test_unconfined_seccomp_with_capability_allows(self, runtime):
+        from repro.virt.container import DEFAULT_CAPABILITIES
+        container = runtime.run(ContainerSpec(
+            image=make_image(), seccomp_profile="unconfined",
+            capabilities=set(DEFAULT_CAPABILITIES) | {"CAP_SYS_MODULE"}))
+        assert runtime.syscall(container.id, "init_module").allowed
+
+    def test_privileged_bypasses_seccomp(self, runtime):
+        container = runtime.run(ContainerSpec(image=make_image(), privileged=True))
+        assert runtime.syscall(container.id, "mount").allowed
+
+    def test_lsm_policy_blocks_and_event_published(self, runtime):
+        events = []
+        runtime.bus.subscribe("runtime.syscall", events.append)
+        runtime.add_lsm_policy(
+            "no-exec", lambda c, a, args: "execve blocked" if a == "execve" else None)
+        container = runtime.run(ContainerSpec(image=make_image()))
+        record = runtime.syscall(container.id, "execve", path="/bin/sh")
+        assert not record.allowed and record.blocked_by.startswith("lsm:no-exec")
+        assert events[-1].get("allowed") is False
+
+    def test_resource_limits_clamp(self, runtime):
+        limited = runtime.run(ContainerSpec(
+            image=make_image(),
+            limits=ResourceLimits(cpu_shares=1024, memory_mb=512)))
+        assert not runtime.consume(limited.id, cpu=2.0, memory_mb=1024)
+        assert limited.cpu_used <= 1.0
+        assert limited.memory_used_mb <= 512
+
+    def test_unlimited_container_starves_node(self, runtime):
+        greedy = runtime.run(ContainerSpec(image=make_image("greedy")))
+        runtime.consume(greedy.id, cpu=4.0, memory_mb=8192)
+        assert runtime._cpu_free() == 0.0
+        util = runtime.utilization()
+        assert util["cpu_used"] == util["cpu_capacity"]
+
+    def test_kill_records_reason(self, runtime):
+        container = runtime.run(ContainerSpec(image=make_image()))
+        runtime.kill(container.id, "policy violation")
+        assert container.state is ContainerState.KILLED
+        assert container.kill_reason == "policy violation"
+
+    def test_unknown_container(self, runtime):
+        with pytest.raises(NotFoundError):
+            runtime.syscall("ghost", "open")
+
+
+class TestHypervisor:
+    def test_vm_lifecycle_and_capacity(self):
+        hv = Hypervisor("olt-1", cpu_cores=8, memory_mb=16384)
+        vm = hv.create_vm(VmSpec("worker-1", vcpus=4, memory_mb=8192))
+        assert hv.cpu_free() == 4
+        hv.create_vm(VmSpec("worker-2", vcpus=4, memory_mb=8192))
+        with pytest.raises(CapacityError):
+            hv.create_vm(VmSpec("worker-3", vcpus=1, memory_mb=1024))
+        hv.destroy_vm(vm.id)
+        assert hv.cpu_free() == 4
+
+    def test_invalid_vm_spec(self):
+        with pytest.raises(ValueError):
+            VmSpec("bad", vcpus=0)
+
+    def test_escape_requires_unpatched_cve(self):
+        hv = Hypervisor("olt-1")
+        vm = hv.create_vm(VmSpec("w", vcpus=1, memory_mb=1024))
+        assert not hv.attempt_escape(vm.id, "CVE-2019-14378")
+        hv.mark_unpatched("CVE-2019-14378")
+        assert hv.attempt_escape(vm.id, "CVE-2019-14378")
+        hv.patch("CVE-2019-14378")
+        assert not hv.attempt_escape(vm.id, "CVE-2019-14378")
+
+    def test_vm_has_nested_runtime(self):
+        hv = Hypervisor("olt-1")
+        vm = hv.create_vm(VmSpec("worker", vcpus=2, memory_mb=4096))
+        assert vm.runtime.cpu_capacity == 2.0
+        container = vm.runtime.run(ContainerSpec(image=make_image()))
+        vm.shutdown()
+        assert not vm.running and not container.running

@@ -1,0 +1,94 @@
+"""Tests for operational vulnerability management on the simulation clock."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.osmodel.presets import stock_onl_olt_host
+from repro.security.vulnmgmt import build_cve_corpus
+from repro.security.vulnmgmt.feeds import FeedAggregator, NvdApiFeed, StructuredFeed
+from repro.security.vulnmgmt.hostscan import HostScanner, ONL_PACKAGE_ALIASES
+from repro.security.vulnmgmt.operations import VulnerabilityOperations
+
+_DAY = 86400.0
+
+
+def make_ops(cadence_days=7.0, clock=None):
+    return VulnerabilityOperations(
+        host=stock_onl_olt_host(),
+        scanner=HostScanner(build_cve_corpus(),
+                            package_aliases=ONL_PACKAGE_ALIASES),
+        aggregator=FeedAggregator(
+            feeds=[StructuredFeed("debian-security-tracker",
+                                  ecosystems=("debian",),
+                                  advisory_lag=12 * 3600.0)],
+            nvd_fallback=NvdApiFeed()),
+        clock=clock or SimClock(),
+        patch_cadence_days=cadence_days)
+
+
+class TestVulnerabilityOperations:
+    def test_invalid_cadence(self):
+        with pytest.raises(ValueError):
+            make_ops(cadence_days=0)
+
+    def test_nothing_patched_before_awareness(self):
+        clock = SimClock()
+        ops = make_ops(clock=clock)
+        # At t=0 only CVEs published at/before 0 could even be aware —
+        # the corpus publishes from day 1 onward, so the cycle is a no-op.
+        assert ops.run_cycle() == []
+        assert all(l.patched_at is None for l in ops.lifecycles.values())
+
+    def test_patching_happens_after_awareness(self):
+        clock = SimClock()
+        ops = make_ops(clock=clock)
+        clock.advance(20 * _DAY)
+        patched = ops.run_cycle()
+        assert patched
+        for cve_id in patched:
+            lifecycle = ops.lifecycles[cve_id]
+            assert lifecycle.aware_at <= lifecycle.patched_at == clock.now
+            assert lifecycle.attack_window_days >= 0
+
+    def test_run_for_schedules_cycles(self):
+        ops = make_ops(cadence_days=7.0)
+        ops.run_for(30.0)
+        assert ops.cycles_run == 4
+        assert ops.clock.now == 30 * _DAY
+
+    def test_unpatchable_cves_tracked(self):
+        ops = make_ops(cadence_days=1.0)
+        ops.run_for(70.0)
+        stats = ops.attack_window_stats()
+        assert stats["unpatchable"] >= 1        # telnetd has no fix
+        unpatchable = [l for l in ops.lifecycles.values() if not l.patchable]
+        assert any(l.package in ("telnetd", "linux-kernel")
+                   for l in unpatchable)
+
+    def test_attack_window_shrinks_with_cadence(self):
+        fast = make_ops(cadence_days=1.0)
+        fast.run_for(70.0)
+        slow = make_ops(cadence_days=30.0)
+        slow.run_for(70.0)
+        fast_window = fast.attack_window_stats()["mean_window_days"]
+        slow_window = slow.attack_window_stats()["mean_window_days"]
+        assert fast_window < slow_window
+
+    def test_lifecycle_never_patched_before_published(self):
+        ops = make_ops(cadence_days=1.0)
+        ops.run_for(70.0)
+        for lifecycle in ops.lifecycles.values():
+            if lifecycle.patched_at is not None:
+                assert lifecycle.patched_at >= lifecycle.published_at
+                assert lifecycle.aware_at is not None
+                assert lifecycle.patched_at >= lifecycle.aware_at
+
+    def test_stats_by_source_consistent(self):
+        ops = make_ops(cadence_days=1.0)
+        ops.run_for(70.0)
+        stats = ops.attack_window_stats()
+        assert stats["patched"] == sum(
+            1 for l in ops.lifecycles.values()
+            if l.attack_window_days is not None)
+        assert set(stats["mean_window_by_source"]) <= {
+            "debian-security-tracker", "nvd"}

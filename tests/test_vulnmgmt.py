@@ -1,0 +1,198 @@
+"""Unit tests for M8/M12 vulnerability management."""
+
+import pytest
+
+from repro.orchestrator.kube.cluster import KubeCluster
+from repro.osmodel.presets import cloud_host, stock_onl_olt_host
+from repro.security.vulnmgmt import (
+    CveDatabase, CveRecord, HostScanner, Severity, build_cve_corpus,
+    generate_kbom, genio_feed_landscape, match_kbom,
+)
+from repro.security.vulnmgmt.feeds import (
+    BlogFeed, FeedAggregator, NvdApiFeed, StaleFeed, StructuredFeed, WebUiFeed,
+)
+from repro.security.vulnmgmt.hostscan import ONL_PACKAGE_ALIASES
+from repro.security.vulnmgmt.kbom import naive_match, precision
+
+_DAY = 86400.0
+
+
+class TestCveDatabase:
+    def test_severity_bands(self):
+        assert Severity.from_cvss(9.8) is Severity.CRITICAL
+        assert Severity.from_cvss(7.0) is Severity.HIGH
+        assert Severity.from_cvss(4.5) is Severity.MEDIUM
+        assert Severity.from_cvss(2.0) is Severity.LOW
+
+    def test_affects_range(self):
+        cve = CveRecord("CVE-X", "openssl", "debian", "1.1.1", "1.1.1l", 7.4)
+        assert cve.affects("openssl", "1.1.1d")
+        assert not cve.affects("openssl", "1.1.1l")
+        assert not cve.affects("openssl", "1.1.0")
+        assert not cve.affects("other", "1.1.1d")
+
+    def test_unfixed_cve_affects_everything_after(self):
+        cve = CveRecord("CVE-Y", "telnetd", "debian", None, None, 9.8)
+        assert cve.affects("telnetd", "0.17")
+        assert cve.affects("telnetd", "99.0")
+
+    def test_priority_weights_exploitability(self):
+        plain = CveRecord("A", "p", "debian", None, None, 8.0)
+        armed = CveRecord("B", "p", "debian", None, None, 8.0,
+                          exploit_available=True)
+        assert armed.priority > plain.priority
+
+    def test_matching_respects_ecosystem(self):
+        db = CveDatabase([CveRecord("A", "django", "pypi", "2.0", "3.0", 9.8)])
+        assert db.matching("django", "2.2", "pypi")
+        assert not db.matching("django", "2.2", "debian")
+
+    def test_published_before(self):
+        db = build_cve_corpus()
+        early = db.published_before(5 * _DAY)
+        assert 0 < len(early) < len(db)
+
+    def test_get_by_id(self):
+        db = build_cve_corpus()
+        assert db.get("CVE-2021-3156").package == "sudo"
+        assert db.get("CVE-0000-0000") is None
+
+
+class TestHostScanner:
+    @pytest.fixture
+    def scanner(self):
+        return HostScanner(build_cve_corpus())
+
+    def test_stock_onl_host_is_riddled(self, scanner):
+        report = scanner.scan(stock_onl_olt_host())
+        assert len(report.findings) >= 10
+        assert report.critical_or_exploitable
+        packages = {f.package for f in report.findings}
+        assert {"openssl", "sudo", "telnetd", "linux-kernel"} <= packages
+
+    def test_prioritized_order(self, scanner):
+        report = scanner.scan(stock_onl_olt_host())
+        priorities = [f.priority for f in report.prioritized()]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_onl_packages_skipped_without_aliases(self, scanner):
+        report = scanner.scan(stock_onl_olt_host())
+        assert "openvswitch-switch" in report.packages_skipped
+        tuned = HostScanner(build_cve_corpus(),
+                            package_aliases=ONL_PACKAGE_ALIASES)
+        tuned_report = tuned.scan(stock_onl_olt_host())
+        assert "openvswitch-switch" not in tuned_report.packages_skipped
+        assert any(f.package == "openvswitch-switch"
+                   for f in tuned_report.findings)
+
+    def test_time_limited_scan(self, scanner):
+        host = stock_onl_olt_host()
+        early = scanner.scan(host, now=5 * _DAY)
+        full = scanner.scan(host)
+        assert len(early.findings) < len(full.findings)
+
+    def test_patching_reduces_findings(self, scanner):
+        host = stock_onl_olt_host()
+        before = scanner.scan(host)
+        applied, after = scanner.patch_prioritized(host, budget=100)
+        assert applied > 0
+        assert len(after.findings) < len(before.findings)
+        # Kernel and unfixed CVEs remain (they need ONIE / have no patch).
+        remaining = {f.package for f in after.findings}
+        assert "linux-kernel" in remaining
+
+    def test_patch_budget_respected(self, scanner):
+        host = stock_onl_olt_host()
+        applied, _ = scanner.patch_prioritized(host, budget=3)
+        assert applied == 3
+
+    def test_cloud_host_is_mostly_clean(self, scanner):
+        report = scanner.scan(cloud_host())
+        assert len(report.findings) <= 2
+
+
+class TestFeeds:
+    def _cve(self, package, ecosystem="middleware", published=20 * _DAY,
+             version_affected=True):
+        return CveRecord("CVE-T", package, ecosystem, None, None, 8.0,
+                         published_at=published)
+
+    def test_structured_feed_is_fast(self):
+        feed = StructuredFeed("k8s", ecosystems=("k8s",))
+        cve = self._cve("kubelet", ecosystem="k8s")
+        latency = feed.aware_at(cve) - cve.published_at
+        assert latency < 1 * _DAY
+
+    def test_blog_feed_is_slow(self):
+        feed = BlogFeed("docker", packages=("containerd",))
+        cve = self._cve("containerd")
+        latency = feed.aware_at(cve) - cve.published_at
+        assert latency >= 2 * _DAY
+
+    def test_webui_waits_for_check(self):
+        feed = WebUiFeed("pve", packages=("proxmox-ve",), check_interval=7 * _DAY)
+        cve = self._cve("proxmox-ve", published=8 * _DAY)
+        assert feed.aware_at(cve) == 14 * _DAY
+
+    def test_stale_feed_misses_new_cves(self):
+        feed = StaleFeed("onos", packages=("onos",), stale_after=10 * _DAY)
+        old = self._cve("onos", published=5 * _DAY)
+        new = self._cve("onos", published=26 * _DAY)
+        assert feed.aware_at(old) is not None
+        assert feed.aware_at(new) is None
+
+    def test_nvd_covers_everything_slowly(self):
+        feed = NvdApiFeed()
+        cve = self._cve("anything")
+        assert feed.aware_at(cve) - cve.published_at >= 3 * _DAY
+
+    def test_aggregator_prefers_fastest_source(self):
+        aggregator = genio_feed_landscape()
+        k8s_cve = CveRecord("CVE-K", "kubelet", "k8s", "1.19", "1.22.2", 8.1,
+                            published_at=28 * _DAY)
+        record = aggregator.awareness(k8s_cve)
+        assert record.via == "kubernetes-cve-feed"
+        onos_new = CveRecord("CVE-O", "onos", "middleware", "1.0", "2.8.0",
+                             6.5, published_at=26 * _DAY)
+        record = aggregator.awareness(onos_new)
+        assert record.via == "nvd"   # stale vendor feed missed it
+
+    def test_awareness_report_and_summary(self):
+        aggregator = genio_feed_landscape()
+        deployed = {"kubelet": "1.20.0", "containerd": "1.4.0",
+                    "proxmox-ve": "7.2-3", "onos": "2.7.0"}
+        records = aggregator.awareness_report(build_cve_corpus(), deployed)
+        assert records
+        summary = FeedAggregator.summarize(records)
+        latencies = summary["mean_latency_days"]
+        assert latencies["kubernetes-cve-feed"] < latencies["nvd"]
+        assert summary["manual_review_hours"] > 0
+
+
+class TestKbom:
+    @pytest.fixture
+    def cluster(self):
+        return KubeCluster()
+
+    def test_kbom_catalogs_components(self, cluster):
+        kbom = generate_kbom(cluster)
+        names = {c.name for c in kbom.components}
+        assert {"kube-apiserver", "kubelet", "etcd", "coredns"} <= names
+        kinds = {c.kind for c in kbom.components}
+        assert kinds == {"controlplane", "node", "addon"}
+
+    def test_exact_matching_finds_real_vulns(self, cluster):
+        kbom = generate_kbom(cluster)
+        matches = match_kbom(kbom, build_cve_corpus())
+        assert all(m.exact for m in matches)
+        matched = {m.cve.cve_id for m in matches}
+        assert "CVE-2022-3172" in matched     # apiserver 1.24.0 < fixed 1.24.5
+        assert "CVE-2021-25741" not in matched  # kubelet 1.24.0 > fixed 1.22.2
+
+    def test_naive_matching_is_noisier(self, cluster):
+        kbom = generate_kbom(cluster)
+        exact = match_kbom(kbom, build_cve_corpus())
+        naive = naive_match(kbom, build_cve_corpus())
+        assert len(naive) > len(exact)
+        assert precision(naive) < 1.0
+        assert precision(exact) == 1.0
