@@ -149,3 +149,56 @@ def test_ablation_defense_depth(benchmark, report):
     assert by_name["monitor+response only (M18)"].contained
     full = by_name["full stack (M16+M17+M18)"]
     assert not full.deployed
+
+
+# The same ablation idea one level up: instead of hand-wiring each layer,
+# drive it through the SecurityPipeline's public step registry and observe
+# which posture artifacts each skipped step takes with it.
+
+_STEP_ARTIFACTS = {
+    "M1/M2 hardening": lambda p: bool(p.hardening),
+    "M3/M4 communication security": lambda p: p.channels is not None,
+    "M5/M6/M7 integrity": lambda p: p.boot is not None and bool(p.fim),
+    "M8/M9/M12 vulnerability management": lambda p: p.host_scanner is not None,
+    "M10/M11 access control & compliance": lambda p: p.compliance is not None,
+    "M13/M14/M15 application security": lambda p: p.sast is not None,
+    "M16/M17/M18 runtime security": lambda p: p.falco is not None,
+}
+
+
+def test_pipeline_step_ablation(benchmark, report):
+    """Skip each registered step in turn via ``apply(skip=...)``."""
+    from repro.platform import build_genio_deployment
+    from repro.security.pipeline import SecurityPipeline
+
+    def sweep():
+        rows = []
+        step_names = SecurityPipeline(
+            build_genio_deployment(n_olts=1, onus_per_olt=2)).step_names()
+        for skipped in step_names:
+            deployment = build_genio_deployment(n_olts=1, onus_per_olt=2)
+            posture = SecurityPipeline(deployment).apply(skip=[skipped])
+            rows.append((skipped, posture))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["E14b (ablation) — pipeline-level step ablation via the public "
+             "step registry",
+             "",
+             f"{'step skipped':<38} {'artifact gone':>13} {'others intact':>14}"]
+    for skipped, posture in rows:
+        gone = not _STEP_ARTIFACTS[skipped](posture)
+        others = all(check(posture) for name, check in _STEP_ARTIFACTS.items()
+                     if name != skipped)
+        lines.append(f"{skipped:<38} {'yes' if gone else 'NO':>13} "
+                     f"{'yes' if others else 'NO':>14}")
+        assert gone, f"skipping {skipped} left its artifact behind"
+        assert others, f"skipping {skipped} broke an unrelated step"
+        assert posture.steps_skipped == [skipped]
+    lines.append("")
+    lines.append("reading: apply(skip=...) removes exactly the skipped "
+                 "step's artifacts — steps are independent at the registry "
+                 "level, so experiments can ablate any mitigation group "
+                 "without reaching into pipeline internals.")
+    report("E14b_pipeline_step_ablation", "\n".join(lines))

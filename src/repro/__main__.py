@@ -8,12 +8,34 @@ Commands:
                   the operator security report.
 * ``attack``    — run the full attack/defense demonstration (all threats,
                   mitigations on) and print outcomes.
+
+``secure`` and ``attack`` accept ``--metrics``: the run starts from a
+fresh process-wide registry and ends by printing the Prometheus-style
+telemetry snapshot, so every experiment's overhead is measurable.
+``secure`` additionally accepts ``--skip``/``--only`` (step names or
+mitigation ids, comma-separated) to ablate pipeline steps.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _metrics_prologue(args: argparse.Namespace):
+    """Fresh registry for a ``--metrics`` run; returns it (or None)."""
+    if not getattr(args, "metrics", False):
+        return None
+    from repro.common import telemetry
+    telemetry.reset_default_registry()
+    telemetry.set_telemetry_enabled(True)
+    return telemetry.default_registry()
+
+
+def _metrics_epilogue(registry) -> None:
+    if registry is not None:
+        print("\n# --- telemetry snapshot (Prometheus text format) ---")
+        print(registry.render(), end="")
 
 
 def _cmd_inventory(_: argparse.Namespace) -> int:
@@ -34,17 +56,33 @@ def _cmd_threats(_: argparse.Namespace) -> int:
 
 
 def _cmd_secure(args: argparse.Namespace) -> int:
+    registry = _metrics_prologue(args)
     from repro.platform import build_genio_deployment
     from repro.security.pipeline import SecurityPipeline
     from repro.security.report import generate_report
     deployment = build_genio_deployment(n_olts=args.olts)
-    posture = SecurityPipeline(deployment).apply()
+    selectors = {}
+    if args.skip:
+        selectors["skip"] = [t.strip() for t in args.skip.split(",") if t.strip()]
+    if args.only:
+        selectors["only"] = [t.strip() for t in args.only.split(",") if t.strip()]
+    try:
+        posture = SecurityPipeline(deployment).apply(**selectors)
+    except (KeyError, ValueError) as exc:
+        # Unknown selector or skip+only together: a usage error, not a crash.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     report = generate_report(posture)
     print(report.render())
+    if posture.steps_skipped:
+        print(f"\n(steps skipped: {', '.join(posture.steps_skipped)})")
+    _metrics_epilogue(registry)
     return 0 if report.ready else 1
 
 
-def _cmd_attack(_: argparse.Namespace) -> int:
+def _cmd_attack(args: argparse.Namespace) -> int:
+    registry = _metrics_prologue(args)
     from repro.attacks import (
         DefaultCredentialAttack, MaliciousImageAttack,
         PrivilegeEscalationAttack,
@@ -106,6 +144,7 @@ def _cmd_attack(_: argparse.Namespace) -> int:
               f"{'SUCCEEDS' if on_result.succeeded else 'blocked'}")
     print("\n(run `pytest benchmarks/test_attack_defense_matrix.py "
           "--benchmark-only` for all 16 scenarios)")
+    _metrics_epilogue(registry)
     return 1 if failures else 0
 
 
@@ -118,7 +157,15 @@ def main(argv=None) -> int:
     sub.add_parser("threats", help="Figure 3 threat/mitigation matrix")
     secure = sub.add_parser("secure", help="run the M1-M18 pipeline + report")
     secure.add_argument("--olts", type=int, default=2)
-    sub.add_parser("attack", help="attack/defense demonstration")
+    secure.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-style telemetry snapshot")
+    secure.add_argument("--skip", default="",
+                        help="comma-separated steps/mitigations to skip")
+    secure.add_argument("--only", default="",
+                        help="comma-separated steps/mitigations to run alone")
+    attack = sub.add_parser("attack", help="attack/defense demonstration")
+    attack.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-style telemetry snapshot")
     cra = sub.add_parser("cra", help="Cyber Resilience Act readiness")
     cra.add_argument("--mitigations", default="all",
                      help="comma-separated mitigation ids, or 'all'/'none'")

@@ -10,6 +10,9 @@ This package provides the primitives every substrate builds on:
   runtime monitoring and experiment instrumentation.
 * :mod:`repro.common.errors` -- the exception hierarchy.
 * :mod:`repro.common.ids` -- deterministic identifier generation.
+* :mod:`repro.common.telemetry` -- Prometheus-style metrics (counters,
+  gauges, histograms with labels), SimClock-timestamped tracing spans,
+  and the text exporter every experiment can print.
 """
 
 from repro.common.clock import SimClock
@@ -23,9 +26,25 @@ from repro.common.errors import (
 )
 from repro.common.events import Event, EventBus
 from repro.common.ids import IdGenerator
+from repro.common.telemetry import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    active_registry,
+    default_registry,
+    reset_default_registry,
+    set_telemetry_enabled,
+)
 
 __all__ = [
     "SimClock",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "active_registry",
+    "default_registry",
+    "reset_default_registry",
+    "set_telemetry_enabled",
     "ReproError",
     "AuthenticationError",
     "IntegrityError",

@@ -5,6 +5,12 @@ events, hosts emit syscall and file events, the orchestrator emits API
 audit events. Security components (the Falco-like monitor, Tripwire-like
 FIM, audit loggers) subscribe to these streams. A single lightweight bus
 keeps the coupling loose and lets experiments tap any stream.
+
+The bus is itself a telemetry source: when the process-wide metrics
+registry is active (see :mod:`repro.common.telemetry`), every publish
+feeds ``bus_events_total{topic}``, ``bus_deliveries_total{topic}`` (the
+subscriber fan-out), the ``bus_delivery_depth`` histogram (re-entrant
+publishes from inside handlers) and the ``bus_history_size`` gauge.
 """
 
 from __future__ import annotations
@@ -34,6 +40,18 @@ class Event:
 
 
 Subscriber = Callable[[Event], None]
+Predicate = Callable[[Event], bool]
+
+
+@dataclass
+class _Subscription:
+    """One registration: a handler plus an optional delivery predicate."""
+
+    handler: Subscriber
+    predicate: Optional[Predicate] = None
+
+    def wants(self, event: Event) -> bool:
+        return self.predicate is None or self.predicate(event)
 
 
 class EventBus:
@@ -45,38 +63,94 @@ class EventBus:
     analysers (and tests) can replay what happened.
     """
 
-    def __init__(self, history_limit: int = 100_000) -> None:
+    def __init__(self, history_limit: int = 100_000,
+                 metrics: Optional[object] = None) -> None:
         if history_limit < 0:
             raise ValueError("history_limit must be non-negative")
-        self._subscribers: Dict[str, List[Subscriber]] = {}
+        self._subscribers: Dict[str, List[_Subscription]] = {}
         self._history: List[Event] = []
         self._history_limit = history_limit
+        self._publish_depth = 0
+        if metrics is None:
+            from repro.common import telemetry
+            metrics = telemetry.active_registry()
+        self._metrics = metrics
+        if metrics is not None:
+            self._events_counter = metrics.counter(
+                "bus_events_total", "Events published, by topic.", ("topic",))
+            self._deliveries_counter = metrics.counter(
+                "bus_deliveries_total",
+                "Subscriber deliveries (fan-out), by topic.", ("topic",))
+            self._depth_histogram = metrics.histogram(
+                "bus_delivery_depth",
+                "Publish nesting depth (handlers publishing from handlers).",
+                buckets=(1, 2, 3, 5, 8))
+            self._history_gauge = metrics.gauge(
+                "bus_history_size", "Events currently retained in history.")
+            # Pre-resolved children keep the hot path to plain attribute
+            # bumps — no label resolution per event.
+            self._depth_child = self._depth_histogram.labels()
+            self._history_child = self._history_gauge.labels()
+            # topic -> (events child, deliveries child)
+            self._topic_children: Dict[str, tuple] = {}
 
-    def subscribe(self, topic: str, subscriber: Subscriber) -> Callable[[], None]:
+    def subscribe(self, topic: str, subscriber: Subscriber,
+                  predicate: Optional[Predicate] = None) -> Callable[[], None]:
         """Register ``subscriber`` for ``topic`` (prefix match on dots).
 
-        Returns an unsubscribe callable.
+        ``predicate`` optionally filters delivery further: the subscriber
+        only sees events for which ``predicate(event)`` is true, so
+        monitors no longer re-filter streams (or full history) by hand.
+
+        Returns an unsubscribe callable. Each callable removes exactly the
+        registration that created it — registering the same subscriber on
+        two topics yields two independent registrations, and unsubscribing
+        one leaves the other delivering. Keep every returned callable you
+        intend to use.
         """
-        self._subscribers.setdefault(topic, []).append(subscriber)
+        subscription = _Subscription(handler=subscriber, predicate=predicate)
+        self._subscribers.setdefault(topic, []).append(subscription)
 
         def unsubscribe() -> None:
             handlers = self._subscribers.get(topic, [])
-            if subscriber in handlers:
-                handlers.remove(subscriber)
+            if subscription in handlers:
+                handlers.remove(subscription)
 
         return unsubscribe
 
     def publish(self, event: Event) -> None:
         """Deliver ``event`` to every matching subscriber and record it."""
-        if self._history_limit:
-            self._history.append(event)
-            if len(self._history) > self._history_limit:
-                # Drop the oldest half in one slice to amortise the cost.
-                del self._history[: self._history_limit // 2]
-        for topic, handlers in list(self._subscribers.items()):
-            if _topic_matches(topic, event.topic):
-                for handler in list(handlers):
-                    handler(event)
+        if self._history_limit and len(self._history) >= self._history_limit:
+            # Amortised trim: drop the oldest half (at least one) in one
+            # slice *before* appending, so history never exceeds the
+            # documented bound — not even transiently, not even for
+            # handlers that read history mid-delivery. A limit of zero
+            # means unlimited retention.
+            del self._history[: max(1, self._history_limit // 2)]
+        self._history.append(event)
+        delivered = 0
+        self._publish_depth += 1
+        try:
+            for topic, handlers in list(self._subscribers.items()):
+                if _topic_matches(topic, event.topic):
+                    for subscription in list(handlers):
+                        if subscription.wants(event):
+                            subscription.handler(event)
+                            delivered += 1
+        finally:
+            self._publish_depth -= 1
+        if self._metrics is not None:
+            children = self._topic_children.get(event.topic)
+            if children is None:
+                children = (
+                    self._events_counter.labels(topic=event.topic),
+                    self._deliveries_counter.labels(topic=event.topic))
+                self._topic_children[event.topic] = children
+            children[0].inc()
+            if delivered:
+                children[1].inc(delivered)
+            self._depth_child.observe(self._publish_depth + 1)
+            self._history_child.set(len(self._history))
 
     def emit(self, topic: str, source: str, timestamp: float, **payload: Any) -> Event:
         """Build and publish an event in one call; returns the event."""
@@ -84,11 +158,26 @@ class EventBus:
         self.publish(event)
         return event
 
-    def history(self, topic: Optional[str] = None) -> Iterator[Event]:
-        """Iterate retained events, optionally filtered by topic prefix."""
-        for event in self._history:
-            if topic is None or _topic_matches(topic, event.topic):
-                yield event
+    def history(self, topic: Optional[str] = None,
+                since: Optional[float] = None,
+                limit: Optional[int] = None) -> Iterator[Event]:
+        """Iterate retained events, optionally filtered.
+
+        :param topic: topic prefix filter (dot-boundary match).
+        :param since: only events with ``timestamp >= since``.
+        :param limit: at most the *newest* ``limit`` matching events,
+            still yielded in chronological order.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
+        matching = [
+            event for event in self._history
+            if (topic is None or _topic_matches(topic, event.topic))
+            and (since is None or event.timestamp >= since)
+        ]
+        if limit is not None:
+            matching = matching[len(matching) - limit:] if limit else []
+        return iter(matching)
 
     def clear_history(self) -> None:
         """Forget retained events (subscribers stay registered)."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.common import crypto
+from repro.common import crypto, telemetry
 from repro.common.errors import IntegrityError
 from repro.pon.frames import Frame, FrameKind
 
@@ -53,6 +53,14 @@ class MacsecChannel:
         self._highest_seen_pn = 0
         self._accepted_in_window: set = set()
         self.stats = MacsecStats()
+        metrics = telemetry.active_registry()
+        self._frames_counter = None if metrics is None else metrics.counter(
+            "macsec_frames_total", "MACsec operations, by result.",
+            ("result",))
+
+    def _count(self, result: str) -> None:
+        if self._frames_counter is not None:
+            self._frames_counter.inc(result=result)
 
     def protect(self, frame: Frame) -> Frame:
         """Encapsulate a plaintext frame into a MACsec-protected frame."""
@@ -61,6 +69,7 @@ class MacsecChannel:
         aad = self._aad(frame.src, frame.dst, pn)
         blob = crypto.aead_encrypt(self._sak, frame.payload, associated_data=aad)
         self.stats.protected += 1
+        self._count("protected")
         return (
             frame.with_payload(blob, secure=True)
             .with_header("macsec_pn", pn)
@@ -75,17 +84,20 @@ class MacsecChannel:
         pn = frame.headers.get("macsec_pn")
         if not isinstance(pn, int):
             self.stats.tag_failures += 1
+            self._count("tag_failure")
             raise IntegrityError("frame lacks a MACsec packet number")
         if self.replay_protect and pn <= self._highest_seen_pn:
             in_window = (self._highest_seen_pn - pn) < self.replay_window
             if not in_window or pn in self._accepted_in_window:
                 self.stats.replayed += 1
+                self._count("replay_rejected")
                 raise IntegrityError(f"replayed packet number {pn}")
         aad = self._aad(frame.src, frame.dst, pn)
         try:
             plaintext = crypto.aead_decrypt(self._sak, frame.payload, associated_data=aad)
         except IntegrityError:
             self.stats.tag_failures += 1
+            self._count("tag_failure")
             raise
         if pn > self._highest_seen_pn:
             self._highest_seen_pn = pn
@@ -94,6 +106,7 @@ class MacsecChannel:
                 seen for seen in self._accepted_in_window if seen >= floor}
         self._accepted_in_window.add(pn)
         self.stats.validated += 1
+        self._count("validated")
         return frame.with_payload(plaintext, secure=False)
 
     @staticmethod

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.common import telemetry
 from repro.common.clock import SimClock
 from repro.common.events import EventBus
 from repro.pon.fiber import EthernetLink, FiberSpan
@@ -49,6 +50,12 @@ class PonNetwork:
         self.onus: Dict[str, Onu] = {}
         self.stats = TrafficStats()
         self.uplinks: Dict[str, EthernetLink] = {}
+        metrics = telemetry.active_registry()
+        self._tx_delay_histogram = None if metrics is None else \
+            metrics.histogram(
+                "pon_tx_delay_seconds",
+                "Simulated downstream transmission delay per frame.",
+                buckets=(0.0001, 0.00025, 0.0005, 0.001, 0.005, 0.01))
 
     @classmethod
     def build(
@@ -92,6 +99,8 @@ class PonNetwork:
         self.stats.frames_sent += 1
         self.stats.bytes_sent += len(payload) + gem_overhead
         self.stats.total_delay_s += delay
+        if self._tx_delay_histogram is not None:
+            self._tx_delay_histogram.observe(delay)
         self.clock.advance(delay)
         return delay
 

@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.common import crypto
+from repro.common import crypto, telemetry
 from repro.common.clock import SimClock
 from repro.common.errors import AuthenticationError, CapacityError, NotFoundError
 from repro.common.events import EventBus
@@ -87,6 +87,21 @@ class Olt:
         self.certificate_verifier: Optional[CertificateVerifier] = None
         self.upstream_frames: List[Frame] = []
         self._next_gem_port = 1000
+        metrics = telemetry.active_registry()
+        self._metrics = metrics
+        if metrics is not None:
+            self._frames_counter = metrics.counter(
+                "pon_frames_total", "PON frames transmitted, by direction.",
+                ("direction",))
+            self._bytes_counter = metrics.counter(
+                "pon_bytes_total", "PON payload bytes carried, by direction.",
+                ("direction",))
+            self._encrypted_counter = metrics.counter(
+                "pon_gem_encrypted_total",
+                "Downstream GEM frames protected by G.987.3 encryption.")
+            self._activation_counter = metrics.counter(
+                "pon_activations_total", "ONU activation attempts, by outcome.",
+                ("accepted",))
 
     # -- provisioning ----------------------------------------------------------
 
@@ -208,11 +223,19 @@ class Olt:
         gem = GemFrame(gem_port=gem_port, inner=frame)
         if self.encryption_enabled:
             gem = self.key_server.encrypt(gem)
+        if self._metrics is not None:
+            self._frames_counter.inc(direction="downstream")
+            self._bytes_counter.inc(gem.size, direction="downstream")
+            if self.encryption_enabled:
+                self._encrypted_counter.inc()
         return port.span.transmit(gem, gem.size)
 
     def receive_upstream(self, frame: Frame) -> None:
         """Accept an upstream frame from an activated ONU."""
         self.upstream_frames.append(frame)
+        if self._metrics is not None:
+            self._frames_counter.inc(direction="upstream")
+            self._bytes_counter.inc(frame.size, direction="upstream")
         if self._bus is not None:
             self._bus.emit(
                 "pon.upstream", self.name, self._clock.now,
@@ -242,6 +265,8 @@ class Olt:
             timestamp=self._clock.now,
         )
         self.activation_log.append(record)
+        if self._metrics is not None:
+            self._activation_counter.inc(accepted=str(accepted).lower())
         if self._bus is not None:
             self._bus.emit(
                 "pon.activation", self.name, self._clock.now,

@@ -4,7 +4,9 @@ from repro.security.monitor.falco import (
     Alert, FalcoEngine, FalcoRule, Priority, default_rules,
 )
 from repro.security.monitor.abuse import ResourceAbuseDetector
-from repro.security.monitor.correlate import Incident, correlate, triage
+from repro.security.monitor.correlate import (
+    Incident, LiveCorrelator, correlate, triage,
+)
 from repro.security.monitor.forensics import EvidenceBundle, ForensicCollector
 from repro.security.monitor.response import IncidentResponder
 from repro.security.monitor.rulespec import compile_rule, compile_ruleset
@@ -17,6 +19,7 @@ __all__ = [
     "default_rules",
     "ResourceAbuseDetector",
     "Incident",
+    "LiveCorrelator",
     "correlate",
     "triage",
     "EvidenceBundle",

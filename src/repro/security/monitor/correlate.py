@@ -10,8 +10,9 @@ within a window are what warrant response, single NOTICE blips are not.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.events import Event, EventBus
 from repro.security.monitor.falco import Alert, Priority
 
 # Rule -> kill-chain stage (roughly: access -> execution -> escalation ->
@@ -91,6 +92,43 @@ def correlate(alerts: Sequence[Alert], window_s: float = 300.0) -> List[Incident
             incidents.append(incident)
             open_incidents[key] = incident
     return sorted(incidents, key=lambda i: -i.score)
+
+
+class LiveCorrelator:
+    """Correlates alerts straight off the bus instead of polling the engine.
+
+    Subscribes to the ``monitor.alert`` topic a
+    :class:`~repro.security.monitor.falco.FalcoEngine` publishes when
+    constructed with ``publish_alerts=True``, using the bus's
+    ``predicate=`` delivery filter for the priority floor — no more
+    re-filtering the engine's full alert list by hand on every pass.
+    """
+
+    def __init__(self, bus: EventBus, window_s: float = 300.0,
+                 min_priority: Priority = Priority.NOTICE) -> None:
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self.min_priority = min_priority
+        self.alerts: List[Alert] = []
+        self._unsubscribe: Callable[[], None] = bus.subscribe(
+            "monitor.alert", self._ingest,
+            predicate=lambda e: e.get("priority", 0) >= int(min_priority))
+
+    def _ingest(self, event: Event) -> None:
+        self.alerts.append(Alert(
+            rule=str(event.get("rule", "")),
+            priority=Priority(int(event.get("priority", Priority.NOTICE))),
+            timestamp=event.timestamp,
+            source=str(event.get("alert_source", event.source)),
+            summary=str(event.get("summary", ""))))
+
+    def incidents(self) -> List[Incident]:
+        """Correlate everything ingested so far."""
+        return correlate(self.alerts, window_s=self.window_s)
+
+    def close(self) -> None:
+        self._unsubscribe()
 
 
 def triage(incidents: Sequence[Incident]) -> Dict[str, List[Incident]]:

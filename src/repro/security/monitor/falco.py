@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common import telemetry
 from repro.common.events import Event, EventBus
 
 Condition = Callable[[Event], bool]
@@ -71,27 +72,53 @@ class Alert:
 
 
 class FalcoEngine:
-    """The monitoring engine attached to an event bus."""
+    """The monitoring engine attached to an event bus.
 
-    def __init__(self, rules: Optional[Sequence[FalcoRule]] = None) -> None:
+    With ``publish_alerts=True`` every fired alert is also re-published on
+    the bus under the ``monitor.alert`` topic, so downstream consumers
+    (the live correlator, dashboards) can subscribe instead of polling
+    ``engine.alerts``. The engine never evaluates its own alert events
+    (no feedback loop): ``monitor.*`` topics are excluded from handling.
+    """
+
+    def __init__(self, rules: Optional[Sequence[FalcoRule]] = None,
+                 publish_alerts: bool = False) -> None:
         self.rules = list(rules if rules is not None else default_rules())
         self.alerts: List[Alert] = []
         self.events_processed = 0
         self.rule_evaluations = 0
         self.rule_errors: Dict[str, int] = {}
+        self.publish_alerts = publish_alerts
+        self._bus: Optional[EventBus] = None
         self._unsubscribe: Optional[Callable[[], None]] = None
+        metrics = telemetry.active_registry()
+        self._metrics = metrics
+        if metrics is not None:
+            self._events_counter = metrics.counter(
+                "falco_events_total", "Events seen by the runtime monitor.")
+            self._evaluations_counter = metrics.counter(
+                "falco_rule_evaluations_total", "Rule condition evaluations.")
+            self._alerts_counter = metrics.counter(
+                "falco_alerts_total", "Alerts fired, by rule.", ("rule",))
+            self._errors_counter = metrics.counter(
+                "falco_rule_errors_total", "Broken-rule exceptions, by rule.",
+                ("rule",))
 
     # -- lifecycle -------------------------------------------------------------
 
     def attach(self, bus: EventBus) -> None:
         if self._unsubscribe is not None:
             raise ValueError("engine already attached")
-        self._unsubscribe = bus.subscribe("", self._handle)
+        self._bus = bus
+        self._unsubscribe = bus.subscribe(
+            "", self._handle,
+            predicate=lambda e: not e.topic.startswith("monitor."))
 
     def detach(self) -> None:
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
+            self._bus = None
 
     def rule(self, name: str) -> FalcoRule:
         for rule in self.rules:
@@ -103,10 +130,15 @@ class FalcoEngine:
 
     def _handle(self, event: Event) -> None:
         self.events_processed += 1
+        metrics = self._metrics
+        if metrics is not None:
+            self._events_counter.inc()
         for rule in self.rules:
             if not rule.applies_to(event.topic):
                 continue
             self.rule_evaluations += 1
+            if metrics is not None:
+                self._evaluations_counter.inc()
             try:
                 fired = rule.evaluate(event)
             except Exception:
@@ -114,12 +146,22 @@ class FalcoEngine:
                 # mediation path it observes — count it and keep going.
                 self.rule_errors[rule.name] = \
                     self.rule_errors.get(rule.name, 0) + 1
+                if metrics is not None:
+                    self._errors_counter.inc(rule=rule.name)
                 continue
             if fired:
-                self.alerts.append(Alert(
+                alert = Alert(
                     rule=rule.name, priority=rule.priority,
                     timestamp=event.timestamp, source=event.source,
-                    summary=self._summarize(event)))
+                    summary=self._summarize(event))
+                self.alerts.append(alert)
+                if metrics is not None:
+                    self._alerts_counter.inc(rule=rule.name)
+                if self.publish_alerts and self._bus is not None:
+                    self._bus.emit(
+                        "monitor.alert", "falco", alert.timestamp,
+                        rule=alert.rule, priority=int(alert.priority),
+                        alert_source=alert.source, summary=alert.summary)
 
     @staticmethod
     def _summarize(event: Event) -> str:

@@ -73,8 +73,10 @@ class ForensicCollector:
             {"topic": event.topic, "source": event.source,
              "timestamp": event.timestamp,
              "payload": {k: str(v) for k, v in sorted(event.payload.items())}}
-            for event in self.bus.history()
-            if start <= event.timestamp <= end
+            # since= pre-filters at the bus, so only the incident window's
+            # tail is rescanned instead of the full retained history.
+            for event in self.bus.history(since=start)
+            if event.timestamp <= end
             and self._event_involves(event, incident.key)
         ]
         alerts = [

@@ -4,15 +4,29 @@ Applies the paper's mitigations M1-M18, in dependency order, to a
 :class:`~repro.platform.genio.GenioDeployment`, and returns a
 :class:`SecurityPosture` holding every security artifact (channel
 manager, boot provisioner, FIM monitors, scanners, compliance suite,
-monitoring engine) so callers can keep operating them — and so the
-attack/defense experiments can flip individual mitigations on and off.
+monitoring engine) so callers can keep operating them.
+
+The pipeline is organised around a **public step registry**: each
+mitigation group is a :class:`PipelineStep` with a name, the mitigation
+ids it implements, and an apply function. Experiments flip individual
+mitigations on and off through :meth:`SecurityPipeline.apply`'s
+``skip=``/``only=`` selectors (accepting step names or mitigation ids
+like ``"M18"``) instead of reaching into private methods, and can
+register their own steps with :meth:`SecurityPipeline.register_step`.
+
+Every applied step is telemetered: one tracing span per step (wall and
+simulated duration) plus the ``pipeline_step_duration_seconds`` and
+``pipeline_steps_total`` metrics in the active registry.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.common import telemetry
+from repro.common.telemetry import Tracer
 from repro.platform.genio import GenioDeployment
 from repro.security.access.compliance import ComplianceSuite
 from repro.security.access.leastprivilege import (
@@ -60,123 +74,276 @@ class SecurityPosture:
     malware_scanner: Optional[YaraScanner] = None
     falco: Optional[FalcoEngine] = None
     steps_completed: List[str] = field(default_factory=list)
+    steps_skipped: List[str] = field(default_factory=list)
+
+
+# A step body receives the pipeline (configuration, deployment, cvedb)
+# and the posture it mutates.
+StepFn = Callable[["SecurityPipeline", SecurityPosture], None]
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """One registered mitigation group.
+
+    :param name: stable public name, e.g. ``"M1/M2 hardening"`` — this is
+        what lands in :attr:`SecurityPosture.steps_completed`.
+    :param mitigations: mitigation ids the step implements (``"M1"``...),
+        each usable as a ``skip=``/``only=`` selector.
+    :param apply_fn: the step body.
+    """
+
+    name: str
+    mitigations: Tuple[str, ...]
+    apply_fn: StepFn
+    description: str = ""
+
+    def matches(self, token: str) -> bool:
+        """True if ``token`` selects this step (by name or mitigation id)."""
+        return token == self.name or token in self.mitigations
+
+
+# ---------------------------------------------------------------------------
+# The default step bodies (public module-level functions, in dependency
+# order: hardening before integrity baselines, comms before runtime, etc.)
+# ---------------------------------------------------------------------------
+
+
+def step_hardening(pipeline: "SecurityPipeline",
+                   posture: SecurityPosture) -> None:
+    """M1/M2: OS and kernel hardening on every host."""
+    for host in pipeline.deployment.all_hosts():
+        posture.hardening[host.hostname] = harden_host(host)
+
+
+def step_comms(pipeline: "SecurityPipeline",
+               posture: SecurityPosture) -> None:
+    """M3/M4: PON encryption, PKI activation, MACsec uplinks."""
+    deployment = pipeline.deployment
+    manager = SecureChannelManager()
+    for olt_node in deployment.olts:
+        pon = olt_node.pon
+        manager.secure_pon(pon)
+        for serial in sorted(deployment.onus):
+            onu = deployment.onus[serial]
+            if onu.serial in pon.olt.provisioned_serials:
+                manager.enroll_onu(onu)
+                manager.activate_onu_securely(pon, onu)
+        manager.enroll(olt_node.name)
+    manager.enroll(deployment.cloud_node.hostname)
+    for olt_node in deployment.olts:
+        manager.secure_link(f"uplink-{olt_node.name}", olt_node.name,
+                            deployment.cloud_node.hostname)
+    # Inter-OLT links (the paper's T1 names them explicitly).
+    olt_names = [olt.name for olt in deployment.olts]
+    for a, b in zip(olt_names, olt_names[1:]):
+        manager.secure_link(f"interolt-{a}--{b}", a, b)
+    posture.channels = manager
+
+
+def step_integrity(pipeline: "SecurityPipeline",
+                   posture: SecurityPosture) -> None:
+    """M5/M6/M7: secure boot, encrypted storage, FIM baselines."""
+    provisioner = SecureBootProvisioner()
+    for host in pipeline.deployment.all_hosts():
+        provisioner.provision(host)
+        provisioner.record_golden_state(host)
+        posture.storage[host.hostname] = provision_secure_storage(
+            host, force_install=pipeline.force_clevis_install)
+        monitor = FileIntegrityMonitor(host)
+        monitor.baseline()
+        posture.fim[host.hostname] = monitor
+    posture.boot = provisioner
+
+
+def step_vuln_management(pipeline: "SecurityPipeline",
+                         posture: SecurityPosture) -> None:
+    """M8/M9/M12: scan + patch hosts, signed APT policy, feed landscape."""
+    scanner = HostScanner(pipeline.cvedb)
+    for host in pipeline.deployment.all_hosts():
+        host.require_signed_apt()     # the M9 APT policy
+        applied, _ = scanner.patch_prioritized(
+            host, budget=pipeline.patch_budget_per_host)
+        posture.patches_applied[host.hostname] = applied
+    for olt_node in pipeline.deployment.olts:
+        olt_node.hypervisor.patch("CVE-2019-14378")
+    posture.host_scanner = scanner
+    posture.feeds = genio_feed_landscape()
+
+
+def step_access_control(pipeline: "SecurityPipeline",
+                        posture: SecurityPosture) -> None:
+    """M10/M11: least privilege across the middleware, compliance suite."""
+    deployment = pipeline.deployment
+    tighten_cluster(deployment.cloud_cluster)
+    harden_sdn_controller(deployment.sdn)
+    harden_voltha(deployment.voltha)
+    harden_proxmox(deployment.proxmox)
+    posture.compliance = ComplianceSuite(
+        deployment.cloud_cluster,
+        runtimes=[vm.runtime for vm in deployment.worker_vms()])
+
+
+def step_appsec(pipeline: "SecurityPipeline",
+                posture: SecurityPosture) -> None:
+    """M13/M14/M15: SCA, SAST, fuzzing and port-audit tooling."""
+    posture.sca = ScaScanner(pipeline.cvedb)
+    posture.sast = SastEngine()
+    posture.fuzzer = CatsFuzzer()
+    posture.port_scanner = NmapScanner()
+
+
+def step_runtime_security(pipeline: "SecurityPipeline",
+                          posture: SecurityPosture) -> None:
+    """M16/M17/M18: admission gate, LSM sandboxing, runtime monitoring."""
+    scanner = YaraScanner()
+    posture.malware_scanner = scanner
+    for vm in pipeline.deployment.worker_vms():
+        vm.runtime.add_admission_hook(make_admission_hook(scanner))
+        install_policy(vm.runtime, default_tenant_policy("tenant-*"))
+    engine = FalcoEngine(publish_alerts=True)
+    engine.attach(pipeline.deployment.bus)
+    posture.falco = engine
+
+
+def default_steps() -> List[PipelineStep]:
+    """The M1-M18 programme as registered steps, in dependency order."""
+    return [
+        PipelineStep("M1/M2 hardening", ("M1", "M2"), step_hardening,
+                     "OS/kernel hardening (OpenSCAP, STIG, sysctl)"),
+        PipelineStep("M3/M4 communication security", ("M3", "M4"), step_comms,
+                     "GPON encryption, PKI ONU activation, MACsec uplinks"),
+        PipelineStep("M5/M6/M7 integrity", ("M5", "M6", "M7"), step_integrity,
+                     "secure/measured boot, LUKS storage, Tripwire FIM"),
+        PipelineStep("M8/M9/M12 vulnerability management",
+                     ("M8", "M9", "M12"), step_vuln_management,
+                     "host scanning + prioritised patching, signed updates"),
+        PipelineStep("M10/M11 access control & compliance",
+                     ("M10", "M11"), step_access_control,
+                     "RBAC/ACL least privilege, compliance checkers"),
+        PipelineStep("M13/M14/M15 application security",
+                     ("M13", "M14", "M15"), step_appsec,
+                     "SCA, SAST, DAST tooling"),
+        PipelineStep("M16/M17/M18 runtime security",
+                     ("M16", "M17", "M18"), step_runtime_security,
+                     "malware gate, LSM sandboxing, Falco monitoring"),
+    ]
 
 
 class SecurityPipeline:
-    """Runs the M1-M18 programme over a deployment."""
+    """Runs the M1-M18 programme over a deployment.
+
+    The programme is the public :attr:`steps` registry; ``apply()`` with
+    no arguments runs every step (backward compatible with the original
+    monolithic pipeline), while ``apply(skip=...)`` / ``apply(only=...)``
+    ablate individual mitigations for experiments.
+    """
 
     def __init__(self, deployment: GenioDeployment,
                  cvedb: Optional[CveDatabase] = None,
                  patch_budget_per_host: int = 50,
-                 force_clevis_install: bool = False) -> None:
+                 force_clevis_install: bool = False,
+                 steps: Optional[Sequence[PipelineStep]] = None,
+                 metrics: Optional[telemetry.MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.deployment = deployment
         self.cvedb = cvedb or build_cve_corpus()
         self.patch_budget_per_host = patch_budget_per_host
         self.force_clevis_install = force_clevis_install
+        self.steps: List[PipelineStep] = list(
+            steps if steps is not None else default_steps())
+        self._metrics = metrics if metrics is not None \
+            else telemetry.active_registry()
+        self.tracer = tracer if tracer is not None \
+            else Tracer(clock=deployment.clock)
+        if self._metrics is not None:
+            self._step_duration = self._metrics.histogram(
+                "pipeline_step_duration_seconds",
+                "Wall-clock duration of one pipeline step.", ("step",))
+            self._steps_counter = self._metrics.counter(
+                "pipeline_steps_total", "Pipeline steps run, by outcome.",
+                ("step", "outcome"))
 
-    def apply(self) -> SecurityPosture:
+    # -- the registry ----------------------------------------------------------
+
+    def step_names(self) -> List[str]:
+        return [step.name for step in self.steps]
+
+    def step(self, token: str) -> PipelineStep:
+        """Look a step up by name or mitigation id."""
+        for step in self.steps:
+            if step.matches(token):
+                return step
+        raise KeyError(f"no pipeline step matches {token!r}; "
+                       f"registered: {self.step_names()}")
+
+    def register_step(self, step: PipelineStep, *,
+                      before: Optional[str] = None,
+                      after: Optional[str] = None) -> None:
+        """Insert a step; by default appended, else anchored to a neighbour."""
+        if before is not None and after is not None:
+            raise ValueError("give at most one of before=/after=")
+        if any(existing.name == step.name for existing in self.steps):
+            raise ValueError(f"step {step.name!r} already registered")
+        if before is not None:
+            index = self.steps.index(self.step(before))
+        elif after is not None:
+            index = self.steps.index(self.step(after)) + 1
+        else:
+            index = len(self.steps)
+        self.steps.insert(index, step)
+
+    def remove_step(self, token: str) -> PipelineStep:
+        """Unregister and return the step matching ``token``."""
+        step = self.step(token)
+        self.steps.remove(step)
+        return step
+
+    def _select(self, skip: Optional[Iterable[str]],
+                only: Optional[Iterable[str]]) -> List[PipelineStep]:
+        if skip is not None and only is not None:
+            raise ValueError("give at most one of skip=/only=")
+        tokens = list(skip if skip is not None else only or [])
+        for token in tokens:
+            self.step(token)     # raises KeyError on unknown selectors
+        if only is not None:
+            return [s for s in self.steps
+                    if any(s.matches(t) for t in tokens)]
+        if skip is not None:
+            return [s for s in self.steps
+                    if not any(s.matches(t) for t in tokens)]
+        return list(self.steps)
+
+    # -- execution -------------------------------------------------------------
+
+    def apply(self, skip: Optional[Iterable[str]] = None,
+              only: Optional[Iterable[str]] = None) -> SecurityPosture:
+        """Run the selected steps in registry order.
+
+        :param skip: step names or mitigation ids to leave out.
+        :param only: run just the steps matching these selectors.
+        :raises KeyError: a selector matches no registered step.
+        """
+        selected = self._select(skip, only)
         posture = SecurityPosture(deployment=self.deployment, cvedb=self.cvedb)
-        self._apply_hardening(posture)            # M1, M2
-        self._apply_comms(posture)                # M3, M4
-        self._apply_integrity(posture)            # M5, M6, M7
-        self._apply_vuln_management(posture)      # M8, M9(policy), M12
-        self._apply_access_control(posture)       # M10, M11
-        self._apply_appsec(posture)               # M13, M14, M15
-        self._apply_runtime_security(posture)     # M16, M17, M18
+        posture.steps_skipped = [step.name for step in self.steps
+                                 if step not in selected]
+        for step in selected:
+            self._run_step(step, posture)
         return posture
 
-    # -- M1/M2 --------------------------------------------------------------------
-
-    def _apply_hardening(self, posture: SecurityPosture) -> None:
-        for host in self.deployment.all_hosts():
-            posture.hardening[host.hostname] = harden_host(host)
-        posture.steps_completed.append("M1/M2 hardening")
-
-    # -- M3/M4 ----------------------------------------------------------------------
-
-    def _apply_comms(self, posture: SecurityPosture) -> None:
-        manager = SecureChannelManager()
-        for olt_node in self.deployment.olts:
-            pon = olt_node.pon
-            manager.secure_pon(pon)
-            for serial in sorted(self.deployment.onus):
-                onu = self.deployment.onus[serial]
-                if onu.serial in pon.olt.provisioned_serials:
-                    manager.enroll_onu(onu)
-                    manager.activate_onu_securely(pon, onu)
-            manager.enroll(olt_node.name)
-        manager.enroll(self.deployment.cloud_node.hostname)
-        for olt_node in self.deployment.olts:
-            manager.secure_link(f"uplink-{olt_node.name}", olt_node.name,
-                                self.deployment.cloud_node.hostname)
-        # Inter-OLT links (the paper's T1 names them explicitly).
-        olt_names = [olt.name for olt in self.deployment.olts]
-        for a, b in zip(olt_names, olt_names[1:]):
-            manager.secure_link(f"interolt-{a}--{b}", a, b)
-        posture.channels = manager
-        posture.steps_completed.append("M3/M4 communication security")
-
-    # -- M5/M6/M7 ----------------------------------------------------------------------
-
-    def _apply_integrity(self, posture: SecurityPosture) -> None:
-        provisioner = SecureBootProvisioner()
-        for host in self.deployment.all_hosts():
-            provisioner.provision(host)
-            provisioner.record_golden_state(host)
-            posture.storage[host.hostname] = provision_secure_storage(
-                host, force_install=self.force_clevis_install)
-            monitor = FileIntegrityMonitor(host)
-            monitor.baseline()
-            posture.fim[host.hostname] = monitor
-        posture.boot = provisioner
-        posture.steps_completed.append("M5/M6/M7 integrity")
-
-    # -- M8/M9/M12 ----------------------------------------------------------------------
-
-    def _apply_vuln_management(self, posture: SecurityPosture) -> None:
-        scanner = HostScanner(self.cvedb)
-        for host in self.deployment.all_hosts():
-            host.require_signed_apt()     # the M9 APT policy
-            applied, _ = scanner.patch_prioritized(
-                host, budget=self.patch_budget_per_host)
-            posture.patches_applied[host.hostname] = applied
-        for olt_node in self.deployment.olts:
-            olt_node.hypervisor.patch("CVE-2019-14378")
-        posture.host_scanner = scanner
-        posture.feeds = genio_feed_landscape()
-        posture.steps_completed.append("M8/M9/M12 vulnerability management")
-
-    # -- M10/M11 -----------------------------------------------------------------------
-
-    def _apply_access_control(self, posture: SecurityPosture) -> None:
-        deployment = self.deployment
-        tighten_cluster(deployment.cloud_cluster)
-        harden_sdn_controller(deployment.sdn)
-        harden_voltha(deployment.voltha)
-        harden_proxmox(deployment.proxmox)
-        posture.compliance = ComplianceSuite(
-            deployment.cloud_cluster,
-            runtimes=[vm.runtime for vm in deployment.worker_vms()])
-        posture.steps_completed.append("M10/M11 access control & compliance")
-
-    # -- M13/M14/M15 ---------------------------------------------------------------------
-
-    def _apply_appsec(self, posture: SecurityPosture) -> None:
-        posture.sca = ScaScanner(self.cvedb)
-        posture.sast = SastEngine()
-        posture.fuzzer = CatsFuzzer()
-        posture.port_scanner = NmapScanner()
-        posture.steps_completed.append("M13/M14/M15 application security")
-
-    # -- M16/M17/M18 ----------------------------------------------------------------------
-
-    def _apply_runtime_security(self, posture: SecurityPosture) -> None:
-        scanner = YaraScanner()
-        posture.malware_scanner = scanner
-        for vm in self.deployment.worker_vms():
-            vm.runtime.add_admission_hook(make_admission_hook(scanner))
-            install_policy(vm.runtime, default_tenant_policy("tenant-*"))
-        engine = FalcoEngine()
-        engine.attach(self.deployment.bus)
-        posture.falco = engine
-        posture.steps_completed.append("M16/M17/M18 runtime security")
+    def _run_step(self, step: PipelineStep, posture: SecurityPosture) -> None:
+        started = time.perf_counter()
+        outcome = "ok"
+        with self.tracer.span(step.name, mitigations=step.mitigations):
+            try:
+                step.apply_fn(self, posture)
+            except Exception:
+                outcome = "error"
+                raise
+            finally:
+                if self._metrics is not None:
+                    self._step_duration.observe(
+                        time.perf_counter() - started, step=step.name)
+                    self._steps_counter.inc(step=step.name, outcome=outcome)
+        posture.steps_completed.append(step.name)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.common import telemetry
 from repro.security.pipeline import SecurityPosture
 from repro.security.threatmodel import build_genio_threat_model
 from repro.security.threatmodel.matrix import coverage_matrix
@@ -52,10 +53,42 @@ class SecurityReport:
         return "\n".join(out)
 
 
-def generate_report(posture: SecurityPosture) -> SecurityReport:
-    """Build the report from a pipeline posture."""
+def telemetry_section(
+        metrics: telemetry.MetricsRegistry) -> ReportSection:
+    """Summarise the measurement substrate's key series for the assessor.
+
+    Lesson 8 demands that control overhead be continuously monitored;
+    this section proves the monitoring exists and is live.
+    """
+    key_series = [
+        ("bus events", "bus_events_total"),
+        ("PON frames", "pon_frames_total"),
+        ("MACsec operations", "macsec_frames_total"),
+        ("vulnerability scans", "vuln_scans_total"),
+        ("patches applied", "vuln_patches_applied_total"),
+        ("pipeline steps timed", "pipeline_step_duration_seconds"),
+        ("falco alerts", "falco_alerts_total"),
+    ]
+    lines = [f"{label}: {metrics.total(name):.0f}"
+             for label, name in key_series if name in metrics]
+    if not lines:
+        lines = ["no instrumented series recorded yet"]
+    return ReportSection("Observability (telemetry substrate)", lines,
+                         satisfied=bool(metrics.families()))
+
+
+def generate_report(
+        posture: SecurityPosture,
+        metrics: Optional[telemetry.MetricsRegistry] = None) -> SecurityReport:
+    """Build the report from a pipeline posture.
+
+    ``metrics`` defaults to the active process-wide registry; pass an
+    explicit registry to report on an isolated experiment's telemetry.
+    """
     report = SecurityReport()
     deployment = posture.deployment
+    if metrics is None:
+        metrics = telemetry.active_registry()
 
     # -- threat coverage --------------------------------------------------------
     model = build_genio_threat_model()
@@ -176,5 +209,9 @@ def generate_report(posture: SecurityPosture) -> SecurityReport:
          f"events={falco.events_processed if falco else 0}, "
          f"alerts={len(falco.alerts) if falco else 0}"],
         satisfied=posture.malware_scanner is not None and falco is not None))
+
+    # -- observability ---------------------------------------------------------------------------
+    if metrics is not None:
+        report.sections.append(telemetry_section(metrics))
 
     return report

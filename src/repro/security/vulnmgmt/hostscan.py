@@ -13,9 +13,11 @@ aliases.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.common import telemetry
 from repro.osmodel.host import Host
 from repro.osmodel.packages import Package
 from repro.security.vulnmgmt.cvedb import CveDatabase, CveRecord, Severity
@@ -75,9 +77,26 @@ class HostScanner:
         # aliases, platform packages are skipped (Lesson 4's manual tuning).
         self.package_aliases = dict(package_aliases or {})
         self.kernel_cve_version = kernel_cve_version
+        metrics = telemetry.active_registry()
+        self._metrics = metrics
+        if metrics is not None:
+            self._scans_counter = metrics.counter(
+                "vuln_scans_total", "Host vulnerability scans performed.")
+            self._packages_counter = metrics.counter(
+                "vuln_packages_scanned_total",
+                "Packages matched against the CVE database.")
+            self._findings_counter = metrics.counter(
+                "vuln_findings_total", "CVE findings reported, by severity.",
+                ("severity",))
+            self._patches_counter = metrics.counter(
+                "vuln_patches_applied_total", "Patches successfully applied.")
+            self._scan_duration = metrics.histogram(
+                "vuln_scan_duration_seconds",
+                "Wall-clock duration of one host scan.")
 
     def scan(self, host: Host, now: Optional[float] = None) -> ScanReport:
         """Scan packages + kernel; ``now`` limits to already-published CVEs."""
+        started = time.perf_counter()
         report = ScanReport(host=host.hostname)
         for package in host.packages.installed():
             name = self._resolve_name(package)
@@ -98,6 +117,13 @@ class HostScanner:
             report.findings.append(ScanFinding(
                 cve=cve, package="linux-kernel",
                 installed_version=host.kernel.version))
+        if self._metrics is not None:
+            self._scans_counter.inc()
+            self._packages_counter.inc(report.packages_scanned)
+            for finding in report.findings:
+                self._findings_counter.inc(
+                    severity=finding.cve.severity.name.lower())
+            self._scan_duration.observe(time.perf_counter() - started)
         return report
 
     def _resolve_name(self, package: Package) -> Optional[str]:
@@ -133,6 +159,8 @@ class HostScanner:
         host.packages.install(Package(
             name=current.name, version=finding.cve.fixed,
             description=current.description))
+        if self._metrics is not None:
+            self._patches_counter.inc()
         return True
 
     def patch_prioritized(self, host: Host, budget: int,

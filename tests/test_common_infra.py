@@ -117,6 +117,124 @@ class TestEventBus:
         assert event.get("missing", "d") == "d"
 
 
+class TestEventBusHistoryBound:
+    """Regression tests: the history bound must hold *exactly*.
+
+    The original trim ran after append with ``del history[:limit // 2]``,
+    which deletes zero elements when ``limit == 1`` — unbounded growth.
+    """
+
+    def test_bound_never_exceeded(self):
+        bus = EventBus(history_limit=10)
+        for i in range(100):
+            bus.emit("t", "s", float(i))
+            assert len(list(bus.history())) <= 10
+        # the newest events are the ones retained
+        assert list(bus.history())[-1].timestamp == 99.0
+
+    def test_limit_of_one_is_bounded(self):
+        bus = EventBus(history_limit=1)
+        for i in range(50):
+            bus.emit("t", "s", float(i))
+        (event,) = bus.history()
+        assert event.timestamp == 49.0
+
+    def test_bound_holds_when_observed_from_a_handler(self):
+        bus = EventBus(history_limit=4)
+        sizes = []
+        bus.subscribe("t", lambda e: sizes.append(len(list(bus.history()))))
+        for i in range(20):
+            bus.emit("t", "s", float(i))
+        assert max(sizes) <= 4
+
+    def test_unlimited_history_when_limit_zero(self):
+        bus = EventBus(history_limit=0)
+        for i in range(300):
+            bus.emit("t", "s", float(i))
+        assert len(list(bus.history())) == 300
+
+
+class TestEventBusFilters:
+    def test_predicate_filters_delivery(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("sensor", seen.append,
+                      predicate=lambda e: e.get("level", 0) >= 3)
+        bus.emit("sensor.t", "s", 0.0, level=1)
+        bus.emit("sensor.t", "s", 1.0, level=3)
+        bus.emit("sensor.t", "s", 2.0, level=7)
+        assert [e.get("level") for e in seen] == [3, 7]
+
+    def test_predicate_does_not_affect_other_subscribers(self):
+        bus = EventBus()
+        picky, greedy = [], []
+        bus.subscribe("t", picky.append, predicate=lambda e: False)
+        bus.subscribe("t", greedy.append)
+        bus.emit("t", "s", 0.0)
+        assert not picky and len(greedy) == 1
+
+    def test_history_since(self):
+        bus = EventBus()
+        for i in range(5):
+            bus.emit("t", "s", float(i))
+        assert [e.timestamp for e in bus.history(since=3.0)] == [3.0, 4.0]
+
+    def test_history_limit_keeps_newest_in_order(self):
+        bus = EventBus()
+        for i in range(5):
+            bus.emit("t", "s", float(i))
+        assert [e.timestamp for e in bus.history(limit=2)] == [3.0, 4.0]
+
+    def test_history_since_and_limit_compose_with_topic(self):
+        bus = EventBus()
+        for i in range(6):
+            bus.emit("a.x" if i % 2 == 0 else "b.y", "s", float(i))
+        events = bus.history("a", since=1.0, limit=1)
+        assert [(e.topic, e.timestamp) for e in events] == [("a.x", 4.0)]
+
+    def test_history_negative_limit_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.history(limit=-1)
+
+
+class TestEventBusUnsubscribeClosures:
+    def test_two_topic_registrations_are_independent(self):
+        """One subscriber on two topics -> two independent closures."""
+        bus = EventBus()
+        seen = []
+        unsub_a = bus.subscribe("a", seen.append)
+        unsub_b = bus.subscribe("b", seen.append)
+        unsub_a()
+        bus.emit("a", "s", 0.0)
+        bus.emit("b", "s", 1.0)
+        assert [e.topic for e in seen] == ["b"]
+        unsub_b()
+        bus.emit("b", "s", 2.0)
+        assert len(seen) == 1
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        seen = []
+        unsub = bus.subscribe("t", seen.append)
+        unsub()
+        unsub()     # second call is a no-op, not an error
+        bus.emit("t", "s", 0.0)
+        assert not seen
+
+    def test_duplicate_registration_on_same_topic(self):
+        """Same handler twice on one topic: delivered twice, removable once."""
+        bus = EventBus()
+        seen = []
+        first = bus.subscribe("t", seen.append)
+        bus.subscribe("t", seen.append)
+        bus.emit("t", "s", 0.0)
+        assert len(seen) == 2
+        first()
+        bus.emit("t", "s", 1.0)
+        assert len(seen) == 3
+
+
 class TestIdGenerator:
     def test_sequential_per_prefix(self):
         gen = IdGenerator()
