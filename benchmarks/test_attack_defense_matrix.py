@@ -286,6 +286,22 @@ def _t8_resources() -> Tuple[Callable, Callable]:
     return off, on
 
 
+def _t8_traffic_flood() -> Tuple[Callable, Callable]:
+    from repro.traffic import run_traffic_experiment
+
+    def _run(defended: bool) -> AttackResult:
+        traffic = run_traffic_experiment(n_tenants=3, seconds=0.4,
+                                         dba=defended, qos=defended)
+        hostile = traffic.tenants["tenant-hostile"]
+        return AttackResult(
+            attack="upstream traffic flood",
+            succeeded=hostile.bandwidth_share > 0.5,
+            detail=(f"hostile delivered share {hostile.bandwidth_share:.0%}, "
+                    f"Jain {traffic.jain():.2f}"))
+
+    return (lambda: _run(False), lambda: _run(True))
+
+
 CASES: List[Case] = [
     ("T1", "fiber tap interception", "M3 GPON encryption", *_t1_tap()),
     ("T1", "ONU impersonation", "M4 PKI activation", *_t1_impersonation()),
@@ -303,6 +319,7 @@ CASES: List[Case] = [
     ("T8", "malicious image deploy", "M16 malware gate", *_t8_malicious_image()),
     ("T8", "container escape", "M17 LSM sandboxing", *_t8_escape()),
     ("T8", "resource monopolization", "limits + M18 detection", *_t8_resources()),
+    ("T8", "upstream traffic flood", "DBA fairness + QoS policing", *_t8_traffic_flood()),
 ]
 
 

@@ -8,6 +8,9 @@ Commands:
                   the operator security report.
 * ``attack``    — run the full attack/defense demonstration (all threats,
                   mitigations on) and print outcomes.
+* ``traffic``   — run per-tenant load through the PON upstream under the
+                  DBA + QoS traffic plane and print the fairness report
+                  (with ``--no-dba``/``--no-qos`` ablations).
 
 ``secure`` and ``attack`` accept ``--metrics``: the run starts from a
 fresh process-wide registry and ends by printing the Prometheus-style
@@ -148,6 +151,30 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    registry = _metrics_prologue(args)
+    from repro.security.monitor.abuse import ResourceAbuseDetector
+    from repro.traffic import run_traffic_experiment
+    if args.tenants < 1:
+        print("error: --tenants must be at least 1", file=sys.stderr)
+        return 2
+    if args.seconds <= 0:
+        print("error: --seconds must be positive", file=sys.stderr)
+        return 2
+    report = run_traffic_experiment(
+        n_tenants=args.tenants, seconds=args.seconds,
+        hostile=not args.no_hostile, dba=not args.no_dba,
+        qos=not args.no_qos, seed=args.seed)
+    print(report.render())
+    if registry is not None:
+        findings = ResourceAbuseDetector(registry=registry).sample_metrics()
+        flagged = sorted({f.tenant for f in findings})
+        print(f"\nmetrics-driven abuse findings: "
+              f"{', '.join(flagged) if flagged else 'none'}")
+    _metrics_epilogue(registry)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -166,13 +193,30 @@ def main(argv=None) -> int:
     attack = sub.add_parser("attack", help="attack/defense demonstration")
     attack.add_argument("--metrics", action="store_true",
                         help="print a Prometheus-style telemetry snapshot")
+    traffic = sub.add_parser(
+        "traffic", help="per-tenant traffic generation under DBA + QoS")
+    traffic.add_argument("--tenants", type=int, default=5,
+                         help="number of well-behaved tenants")
+    traffic.add_argument("--seconds", type=float, default=2.0,
+                         help="simulated duration of the run")
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--no-hostile", action="store_true",
+                         help="omit the flooding T8 tenant")
+    traffic.add_argument("--no-dba", action="store_true",
+                         help="disable the DBA fair scheduler (contention "
+                              "becomes demand-proportional)")
+    traffic.add_argument("--no-qos", action="store_true",
+                         help="disable per-tenant admission control")
+    traffic.add_argument("--metrics", action="store_true",
+                         help="print a Prometheus-style telemetry snapshot "
+                              "and the metrics-driven abuse findings")
     cra = sub.add_parser("cra", help="Cyber Resilience Act readiness")
     cra.add_argument("--mitigations", default="all",
                      help="comma-separated mitigation ids, or 'all'/'none'")
     args = parser.parse_args(argv)
     handlers = {"inventory": _cmd_inventory, "threats": _cmd_threats,
                 "secure": _cmd_secure, "attack": _cmd_attack,
-                "cra": _cmd_cra}
+                "traffic": _cmd_traffic, "cra": _cmd_cra}
     return handlers[args.command](args)
 
 

@@ -43,6 +43,10 @@ class Frame:
     payload: bytes = b""
     secure: bool = False
     headers: Dict[str, object] = field(default_factory=dict)
+    # Aggregated frames (one DBA cycle's grant carried as a single frame)
+    # declare their on-the-wire size instead of materialising megabytes of
+    # payload; None means "derive from the payload" as usual.
+    size_override: Optional[int] = None
 
     def with_payload(self, payload: bytes, secure: Optional[bool] = None) -> "Frame":
         """Copy of this frame with a replaced payload."""
@@ -57,6 +61,8 @@ class Frame:
     @property
     def size(self) -> int:
         """Frame size in bytes (payload plus a nominal 18-byte header)."""
+        if self.size_override is not None:
+            return self.size_override
         return len(self.payload) + 18
 
 

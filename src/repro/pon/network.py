@@ -26,6 +26,8 @@ class TrafficStats:
     frames_sent: int = 0
     bytes_sent: int = 0
     total_delay_s: float = 0.0
+    upstream_frames: int = 0
+    upstream_bytes: int = 0
 
     @property
     def goodput_bps(self) -> float:
@@ -105,12 +107,21 @@ class PonNetwork:
         return delay
 
     def send_upstream(self, serial: str, payload: bytes,
-                      kind: FrameKind = FrameKind.DATA) -> None:
-        """Send one upstream frame from an activated ONU to the OLT."""
+                      kind: FrameKind = FrameKind.DATA,
+                      size_override: Optional[int] = None) -> None:
+        """Send one upstream frame from an activated ONU to the OLT.
+
+        ``size_override`` lets a DBA cycle's aggregated grant travel as a
+        single frame that *accounts* as its full granted size without
+        materialising the payload bytes.
+        """
         onu = self.onus.get(serial)
         if onu is None or not onu.activated:
             raise ValueError(f"ONU {serial} is not activated on this network")
-        frame = Frame(src=serial, dst=self.olt.name, kind=kind, payload=payload)
+        frame = Frame(src=serial, dst=self.olt.name, kind=kind,
+                      payload=payload, size_override=size_override)
+        self.stats.upstream_frames += 1
+        self.stats.upstream_bytes += frame.size
         self.olt.receive_upstream(frame)
 
     def span(self, port_index: int = 0) -> FiberSpan:

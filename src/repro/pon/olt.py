@@ -68,10 +68,15 @@ class Olt:
         bus: Optional[EventBus] = None,
         auth_mode: str = "serial",
         rng: Optional[random.Random] = None,
+        upstream_bps: float = 1.244e9,    # G.984 upstream line rate
     ) -> None:
         if auth_mode not in ("serial", "certificate"):
             raise ValueError("auth_mode must be 'serial' or 'certificate'")
+        if upstream_bps <= 0:
+            raise ValueError("upstream_bps must be positive")
         self.name = name
+        self.upstream_bps = float(upstream_bps)
+        self.dba = None    # duck-typed DBA scheduler (repro.traffic.dba)
         self._clock = clock or SimClock()
         self._bus = bus
         self.auth_mode = auth_mode
@@ -205,6 +210,32 @@ class Olt:
         if subject != serial:
             return f"certificate subject {subject!r} does not match serial {serial!r}"
         return None
+
+    # -- the upstream DBA grant loop --------------------------------------------
+
+    def attach_dba(self, scheduler) -> None:
+        """Install a DBA scheduler (anything with a ``grant`` method).
+
+        The OLT owns the upstream capacity; the scheduler decides how one
+        cycle's worth of it is split across T-CONTs. Kept duck-typed so
+        the PON substrate stays below :mod:`repro.traffic` in the layer
+        order.
+        """
+        if not hasattr(scheduler, "grant"):
+            raise TypeError("a DBA scheduler must expose grant(capacity, now)")
+        self.dba = scheduler
+
+    def run_dba_cycle(self, cycle_s: float) -> Dict[int, int]:
+        """Grant one upstream cycle; returns alloc_id -> granted bytes.
+
+        :raises ValueError: no scheduler attached, or non-positive cycle.
+        """
+        if self.dba is None:
+            raise ValueError(f"OLT {self.name} has no DBA scheduler attached")
+        if cycle_s <= 0:
+            raise ValueError("cycle must be positive")
+        capacity_bytes = int(self.upstream_bps / 8.0 * cycle_s)
+        return self.dba.grant(capacity_bytes, now=self._clock.now)
 
     # -- traffic -----------------------------------------------------------------
 

@@ -3,7 +3,7 @@
 from repro.security.monitor.falco import (
     Alert, FalcoEngine, FalcoRule, Priority, default_rules,
 )
-from repro.security.monitor.abuse import ResourceAbuseDetector
+from repro.security.monitor.abuse import AbuseFinding, ResourceAbuseDetector
 from repro.security.monitor.correlate import (
     Incident, LiveCorrelator, correlate, triage,
 )
@@ -17,6 +17,7 @@ __all__ = [
     "FalcoRule",
     "Priority",
     "default_rules",
+    "AbuseFinding",
     "ResourceAbuseDetector",
     "Incident",
     "LiveCorrelator",

@@ -26,6 +26,7 @@ RULE_STAGES: Dict[str, str] = {
     "sensitive_file_read": "escalation",
     "write_below_etc": "persistence",
     "unexpected_outbound": "exfiltration",
+    "resource_abuse": "execution",
 }
 
 _STAGE_ORDER = ("access", "execution", "escalation", "persistence",

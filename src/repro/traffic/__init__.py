@@ -1,0 +1,56 @@
+"""The traffic plane: per-tenant load over the PON upstream (T8 made real).
+
+Before this package the reproduction's attacks ran against an idle
+network; now tenant workloads actually contend on the shared GPON
+upstream, so "monopolizing resources" (T8) and its mitigations —
+admission control, DBA fairness, metrics-driven abuse detection — are
+measurable rather than asserted.
+
+* :mod:`repro.traffic.profiles` — deterministic workload shapes (steady,
+  bursty, diurnal, hostile flood) on the simulation clock;
+* :mod:`repro.traffic.dba` — the GPON dynamic-bandwidth-allocation grant
+  loop: strict priority + weighted fair sharing across T-CONTs;
+* :mod:`repro.traffic.qos` — per-tenant token buckets, bounded admission
+  queues, drops and backpressure events;
+* :mod:`repro.traffic.telemetry` — tenant-labelled share gauges and
+  histograms in the metrics registry;
+* :mod:`repro.traffic.loadgen` — the driver producing per-tenant
+  throughput/latency/drop reports and Jain fairness numbers (E18).
+"""
+
+from repro.traffic.dba import CompletedRequest, DbaScheduler, TCont
+from repro.traffic.loadgen import (
+    LoadGenerator, TenantReport, TenantSpec, TrafficReport, jain_index,
+    run_genio_traffic, run_traffic_experiment, standard_tenant_specs,
+)
+from repro.traffic.profiles import (
+    BurstyProfile, DiurnalProfile, HostileFloodProfile, Request,
+    SteadyProfile, WorkloadProfile, make_profile,
+)
+from repro.traffic.qos import QosEnforcer, TenantPolicy, TokenBucket
+from repro.traffic.telemetry import TrafficTelemetry
+
+__all__ = [
+    "BurstyProfile",
+    "CompletedRequest",
+    "DbaScheduler",
+    "DiurnalProfile",
+    "HostileFloodProfile",
+    "LoadGenerator",
+    "QosEnforcer",
+    "Request",
+    "SteadyProfile",
+    "TCont",
+    "TenantPolicy",
+    "TenantReport",
+    "TenantSpec",
+    "TokenBucket",
+    "TrafficReport",
+    "TrafficTelemetry",
+    "WorkloadProfile",
+    "jain_index",
+    "make_profile",
+    "run_genio_traffic",
+    "run_traffic_experiment",
+    "standard_tenant_specs",
+]

@@ -242,3 +242,24 @@ class TestResourceAbuseDetection:
     def test_tolerance_validation(self):
         with pytest.raises(ValueError):
             ResourceAbuseDetector(ContainerRuntime("n"), tolerance=0.5)
+        with pytest.raises(ValueError):
+            ResourceAbuseDetector(ContainerRuntime("n"), absolute_cap=0.0)
+
+    def test_single_container_saturation_flagged(self):
+        # Regression: with one running container there are no peers to
+        # define fair share, so the relative rule can never fire — the
+        # absolute cap must catch a lone tenant saturating the node.
+        runtime = ContainerRuntime("node", cpu_capacity=8.0)
+        lone = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                         tenant="tenant-lone"))
+        runtime.consume(lone.id, cpu=7.6)   # 95% of the node
+        findings = ResourceAbuseDetector(runtime).sample()
+        assert [f.tenant for f in findings] == ["tenant-lone"]
+        assert "absolute cap" in findings[0].detail
+
+    def test_single_container_below_cap_not_flagged(self):
+        runtime = ContainerRuntime("node", cpu_capacity=8.0)
+        lone = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                         tenant="tenant-lone"))
+        runtime.consume(lone.id, cpu=6.0)   # 75%: heavy but unchallenged
+        assert ResourceAbuseDetector(runtime).sample() == []

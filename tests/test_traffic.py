@@ -1,0 +1,456 @@
+"""Tests for the traffic plane: profiles, token buckets, DBA, QoS, loadgen.
+
+The property-based classes pin the invariants the E18 fairness claims
+rest on: a token bucket never exceeds its rate over any window, and the
+DBA scheduler is capacity-bounded, work-conserving and starvation-free.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import telemetry
+from repro.common.events import EventBus
+from repro.security.monitor import LiveCorrelator, ResourceAbuseDetector
+from repro.traffic import (
+    DbaScheduler, LoadGenerator, QosEnforcer, Request, TenantSpec,
+    TokenBucket, TrafficTelemetry, jain_index, make_profile,
+    run_genio_traffic, run_traffic_experiment,
+)
+from repro.traffic.telemetry import CPU_SHARE_GAUGE, OFFERED_SHARE_GAUGE
+
+
+@pytest.fixture(autouse=True)
+def _fresh_defaults():
+    telemetry.reset_default_registry()
+    telemetry.set_telemetry_enabled(True)
+    yield
+    telemetry.reset_default_registry()
+    telemetry.set_telemetry_enabled(True)
+
+
+# ---------------------------------------------------------------------------
+# Workload profiles
+# ---------------------------------------------------------------------------
+
+
+class TestProfiles:
+    def test_same_seed_replays_identically(self):
+        runs = []
+        for _ in range(2):
+            profile = make_profile("bursty", "tenant-a", 100e6, seed=7)
+            runs.append([tuple((r.size_bytes, r.issued_at)
+                               for r in profile.batch(t * 0.02, 0.02))
+                         for t in range(20)])
+        assert runs[0] == runs[1]
+
+    def test_seed_changes_the_stream(self):
+        a = make_profile("steady", "tenant-a", 100e6, seed=1).batch(0.0, 0.1)
+        b = make_profile("steady", "tenant-a", 100e6, seed=2).batch(0.0, 0.1)
+        assert [r.size_bytes for r in a] != [r.size_bytes for r in b]
+
+    def test_steady_tracks_nominal_rate(self):
+        profile = make_profile("steady", "tenant-a", 80e6, seed=0)
+        total = sum(r.size_bytes
+                    for t in range(50) for r in profile.batch(t * 0.02, 0.02))
+        assert total == pytest.approx(80e6 / 8 * 1.0, rel=0.05)
+
+    def test_hostile_floods_far_beyond_rate(self):
+        steady = make_profile("steady", "t", 100e6, seed=0)
+        hostile = make_profile("hostile", "t", 100e6, seed=0)
+        steady_bytes = sum(r.size_bytes for r in steady.batch(0.0, 0.1))
+        hostile_bytes = sum(r.size_bytes for r in hostile.batch(0.0, 0.1))
+        assert hostile_bytes > 10 * steady_bytes
+
+    def test_diurnal_swings_across_the_day(self):
+        profile = make_profile("diurnal", "t", 100e6, seed=0, day_s=2.0)
+        rates = [profile.offered_bps(t * 0.1) for t in range(20)]
+        assert max(rates) > 1.5 * min(rates)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile kind"):
+            make_profile("chaotic", "t", 1e6)
+
+
+# ---------------------------------------------------------------------------
+# Token bucket: never exceeds rate over any window
+# ---------------------------------------------------------------------------
+
+
+class TestTokenBucketProperties:
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=0.5),
+                              st.integers(min_value=1, max_value=200_000)),
+                    min_size=1, max_size=60),
+           st.floats(min_value=1e6, max_value=1e9),
+           st.integers(min_value=1_000, max_value=1_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_admitted_bounded_by_burst_plus_rate(self, steps, rate_bps, burst):
+        bucket = TokenBucket(rate_bps, burst)
+        now, admitted = 0.0, 0
+        for dt, size in steps:
+            now += dt
+            if bucket.allow(size, now):
+                admitted += size
+        assert admitted <= burst + rate_bps / 8.0 * now + 1e-6
+
+    def test_refill_after_wait(self):
+        bucket = TokenBucket(rate_bps=8e6, burst_bytes=1000)   # 1 MB/s
+        assert bucket.allow(1000, 0.0)
+        assert not bucket.allow(1000, 0.0)
+        assert bucket.allow(1000, 0.001)    # 1 ms refills 1000 bytes
+
+    def test_tokens_never_exceed_burst(self):
+        bucket = TokenBucket(rate_bps=8e9, burst_bytes=500)
+        bucket.allow(0, 100.0)
+        assert bucket.tokens == 500
+
+
+# ---------------------------------------------------------------------------
+# DBA scheduler invariants
+# ---------------------------------------------------------------------------
+
+_tcont_setup = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),      # priority
+              st.floats(min_value=0.5, max_value=8.0),    # weight
+              st.integers(min_value=0, max_value=500_000)),  # backlog bytes
+    min_size=1, max_size=12)
+
+
+def _loaded_scheduler(setup, policy="fair"):
+    scheduler = DbaScheduler(policy=policy)
+    tconts = []
+    for index, (priority, weight, backlog) in enumerate(setup):
+        tcont = scheduler.register_tcont(f"ONU{index}", f"tenant-{index}",
+                                         priority=priority, weight=weight)
+        if backlog:
+            tcont.offer(Request(tenant=tcont.tenant, size_bytes=backlog,
+                                issued_at=0.0))
+        tconts.append(tcont)
+    return scheduler, tconts
+
+
+class TestDbaProperties:
+    @given(_tcont_setup, st.integers(min_value=0, max_value=2_000_000))
+    @settings(max_examples=80, deadline=None)
+    def test_grants_within_capacity_and_backlog(self, setup, capacity):
+        scheduler, tconts = _loaded_scheduler(setup)
+        grants = scheduler.grant(capacity)
+        assert sum(grants.values()) <= capacity
+        for tcont in tconts:
+            assert grants.get(tcont.alloc_id, 0) <= tcont.queued_bytes
+
+    @given(_tcont_setup, st.integers(min_value=0, max_value=2_000_000))
+    @settings(max_examples=80, deadline=None)
+    def test_work_conserving(self, setup, capacity):
+        scheduler, _ = _loaded_scheduler(setup)
+        backlog = scheduler.total_backlog()
+        grants = scheduler.grant(capacity)
+        assert sum(grants.values()) == min(capacity, backlog)
+
+    @given(_tcont_setup.filter(lambda s: any(b for _, _, b in s)))
+    @settings(max_examples=80, deadline=None)
+    def test_starvation_free_across_priorities(self, setup):
+        scheduler, tconts = _loaded_scheduler(setup)
+        backlogged = [t for t in tconts if t.queued_bytes > 0]
+        grants = scheduler.grant(capacity_bytes=100_000)
+        for tcont in backlogged:
+            assert grants[tcont.alloc_id] > 0, \
+                f"priority-{tcont.priority} T-CONT starved"
+
+    @given(_tcont_setup, st.integers(min_value=0, max_value=2_000_000))
+    @settings(max_examples=40, deadline=None)
+    def test_proportional_policy_also_work_conserving(self, setup, capacity):
+        scheduler, _ = _loaded_scheduler(setup, policy="proportional")
+        backlog = scheduler.total_backlog()
+        grants = scheduler.grant(capacity)
+        assert sum(grants.values()) == min(capacity, backlog)
+
+
+class TestDbaBehaviour:
+    def test_strict_priority_dominates_beyond_guarantee(self):
+        scheduler = DbaScheduler(guaranteed_share=0.1)
+        high = scheduler.register_tcont("ONU1", "t-high", priority=0)
+        low = scheduler.register_tcont("ONU2", "t-low", priority=3)
+        high.offer(Request("t-high", 100_000, 0.0))
+        low.offer(Request("t-low", 100_000, 0.0))
+        grants = scheduler.grant(100_000)
+        assert grants[high.alloc_id] > 0.85 * 100_000
+        assert grants[low.alloc_id] > 0            # guaranteed quantum
+
+    def test_weighted_fair_within_tier(self):
+        scheduler = DbaScheduler(guaranteed_share=0.0)
+        heavy = scheduler.register_tcont("ONU1", "t-3x", priority=2, weight=3.0)
+        light = scheduler.register_tcont("ONU2", "t-1x", priority=2, weight=1.0)
+        heavy.offer(Request("t-3x", 1_000_000, 0.0))
+        light.offer(Request("t-1x", 1_000_000, 0.0))
+        grants = scheduler.grant(400_000)
+        ratio = grants[heavy.alloc_id] / grants[light.alloc_id]
+        assert ratio == pytest.approx(3.0, rel=0.05)
+
+    def test_proportional_policy_rewards_demand(self):
+        scheduler = DbaScheduler(policy="proportional")
+        greedy = scheduler.register_tcont("ONU1", "t-greedy")
+        modest = scheduler.register_tcont("ONU2", "t-modest")
+        greedy.offer(Request("t-greedy", 900_000, 0.0))
+        modest.offer(Request("t-modest", 100_000, 0.0))
+        grants = scheduler.grant(500_000)
+        assert grants[greedy.alloc_id] > 4 * grants[modest.alloc_id]
+
+    def test_partial_grant_fragments_request(self):
+        scheduler = DbaScheduler()
+        tcont = scheduler.register_tcont("ONU1", "t")
+        tcont.offer(Request("t", 1000, issued_at=0.0))
+        sent, completed = tcont.drain(400, now=1.0)
+        assert sent == 400 and completed == []
+        sent, completed = tcont.drain(600, now=2.0)
+        assert sent == 600
+        assert len(completed) == 1
+        assert completed[0].latency_s == 2.0
+
+    def test_grant_cycle_event_on_bus(self):
+        bus = EventBus()
+        scheduler = DbaScheduler(bus=bus)
+        scheduler.register_tcont("ONU1", "t").offer(Request("t", 500, 0.0))
+        scheduler.grant(1000, now=3.0)
+        events = list(bus.history("pon.dba.grant"))
+        assert len(events) == 1
+        assert events[0].get("granted_bytes") == 500
+
+
+# ---------------------------------------------------------------------------
+# QoS enforcement
+# ---------------------------------------------------------------------------
+
+
+class TestQosEnforcer:
+    def test_admit_queue_drop_progression(self):
+        qos = QosEnforcer()
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=1000,
+                       queue_limit_bytes=2000)
+        assert qos.submit(Request("t", 1000, 0.0), now=0.0) == "admitted"
+        assert qos.submit(Request("t", 1000, 0.0), now=0.0) == "queued"
+        assert qos.submit(Request("t", 1000, 0.0), now=0.0) == "queued"
+        assert qos.submit(Request("t", 1000, 0.0), now=0.0) == "dropped"
+        assert qos.policy("t").dropped_requests == 1
+
+    def test_queued_requests_released_in_order(self):
+        qos = QosEnforcer()
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=1000,
+                       queue_limit_bytes=10_000)
+        first = Request("t", 1000, 0.0)
+        second = Request("t", 600, 0.0)
+        third = Request("t", 400, 0.0)
+        assert qos.submit(first, 0.0) == "admitted"
+        assert qos.submit(second, 0.0) == "queued"
+        assert qos.submit(third, 0.0) == "queued"
+        released = qos.admit([], now=0.001)      # 1 ms => 1000 fresh tokens
+        assert released == [second, third]
+
+    def test_backpressure_asserted_and_cleared(self):
+        bus = EventBus()
+        qos = QosEnforcer(bus=bus)
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=1000,
+                       queue_limit_bytes=2000)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)   # queue at 100%
+        qos.admit([], now=0.01)                        # refill drains it
+        states = [e.get("state") for e in bus.history("qos.backpressure")]
+        assert states == ["asserted", "cleared"]
+
+    def test_drop_events_aggregated_per_cycle(self):
+        bus = EventBus()
+        qos = QosEnforcer(bus=bus)
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=100,
+                       queue_limit_bytes=100)
+        for _ in range(5):
+            qos.submit(Request("t", 400, 0.0), now=0.0)
+        qos.cycle_end(now=0.02)
+        drops = list(bus.history("qos.drop"))
+        assert len(drops) == 1
+        assert drops[0].get("dropped") == 5
+
+    def test_outcomes_feed_tenant_labelled_counters(self):
+        registry = telemetry.MetricsRegistry()
+        qos = QosEnforcer(registry=registry)
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=1000,
+                       queue_limit_bytes=500)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)
+        qos.submit(Request("t", 600, 0.0), now=0.0)     # over limit: dropped
+        counter = registry.get("traffic_requests_total")
+        assert counter.labels(tenant="t", outcome="admitted").value == 1
+        assert counter.labels(tenant="t", outcome="dropped").value == 1
+
+    def test_duplicate_tenant_rejected(self):
+        qos = QosEnforcer()
+        qos.add_tenant("t", rate_bps=1e6)
+        with pytest.raises(ValueError):
+            qos.add_tenant("t", rate_bps=1e6)
+
+
+# ---------------------------------------------------------------------------
+# Load generation end-to-end
+# ---------------------------------------------------------------------------
+
+
+class TestLoadGenerator:
+    def test_equal_tenants_share_equally(self):
+        report = run_traffic_experiment(n_tenants=3, seconds=0.5,
+                                        hostile=False)
+        assert report.jain() > 0.95
+        for row in report.tenants.values():
+            assert row.delivered_bytes <= row.offered_bytes
+
+    def test_hostile_clamped_under_qos_and_dba(self):
+        report = run_traffic_experiment(n_tenants=4, seconds=0.5)
+        hostile = report.tenants["tenant-hostile"]
+        assert hostile.delivered_bytes < 0.2 * hostile.offered_bytes
+        assert hostile.dropped_requests > 0
+        assert report.jain() > 0.9
+
+    def test_hostile_monopolizes_without_defenses(self):
+        report = run_traffic_experiment(n_tenants=4, seconds=0.5,
+                                        dba=False, qos=False)
+        hostile = report.tenants["tenant-hostile"]
+        assert hostile.bandwidth_share > 0.5
+        assert report.jain() < 0.6
+
+    def test_deterministic_replay(self):
+        first = run_traffic_experiment(n_tenants=2, seconds=0.3, seed=3)
+        telemetry.reset_default_registry()
+        second = run_traffic_experiment(n_tenants=2, seconds=0.3, seed=3)
+        assert first.tenants == second.tenants
+
+    def test_load_accounted_on_the_pon_plant(self):
+        from repro.pon.network import PonNetwork
+        network = PonNetwork.build("olt-t")
+        specs = [TenantSpec(tenant="t-1", serial="S1")]
+        LoadGenerator(network, specs).run(0.2)
+        assert network.stats.upstream_bytes > 0
+        registry = telemetry.default_registry()
+        assert registry.get("pon_bytes_total").labels(
+            direction="upstream").value > 0
+
+    def test_runs_through_genio_deployment(self):
+        from repro.platform import build_genio_deployment
+        deployment = build_genio_deployment(n_olts=1, onus_per_olt=3)
+        report = run_genio_traffic(deployment, seconds=0.2)
+        assert len(report.tenants) == 3
+        assert any(row.profile == "hostile"
+                   for row in report.tenants.values())
+
+    def test_duplicate_tenant_names_rejected(self):
+        from repro.pon.network import PonNetwork
+        network = PonNetwork.build()
+        specs = [TenantSpec(tenant="t", serial="S1"),
+                 TenantSpec(tenant="t", serial="S2")]
+        with pytest.raises(ValueError, match="unique"):
+            LoadGenerator(network, specs)
+
+    def test_jain_index_bounds(self):
+        assert jain_index([5, 5, 5]) == pytest.approx(1.0)
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+        assert jain_index([]) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Metrics-driven abuse detection (the rewired ResourceAbuseDetector)
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsDrivenAbuseDetection:
+    def _registry_with_shares(self, shares, metric=OFFERED_SHARE_GAUGE):
+        registry = telemetry.MetricsRegistry()
+        gauge = registry.gauge(metric, "", ("tenant",))
+        for tenant, share in shares.items():
+            gauge.set(share, tenant=tenant)
+        return registry
+
+    def test_flags_only_the_noisy_tenant(self):
+        registry = self._registry_with_shares(
+            {"t-1": 0.05, "t-2": 0.05, "t-3": 0.05, "t-bad": 0.85})
+        detector = ResourceAbuseDetector(registry=registry)
+        findings = detector.sample_metrics()
+        assert [f.tenant for f in findings] == ["t-bad"]
+        assert findings[0].metric == OFFERED_SHARE_GAUGE
+        assert findings[0].bandwidth_share == 0.85
+
+    def test_cpu_metric_lands_in_cpu_share(self):
+        registry = self._registry_with_shares({"t-bad": 0.95},
+                                              metric=CPU_SHARE_GAUGE)
+        findings = ResourceAbuseDetector(registry=registry).sample_metrics()
+        assert findings and findings[0].cpu_share == 0.95
+
+    def test_single_tenant_saturation_flagged_by_absolute_cap(self):
+        registry = self._registry_with_shares({"t-only": 0.95})
+        findings = ResourceAbuseDetector(registry=registry).sample_metrics()
+        assert [f.tenant for f in findings] == ["t-only"]
+        assert "absolute cap" in findings[0].detail
+
+    def test_fair_shares_not_flagged(self):
+        registry = self._registry_with_shares(
+            {"t-1": 0.34, "t-2": 0.33, "t-3": 0.33})
+        assert ResourceAbuseDetector(
+            registry=registry).sample_metrics() == []
+
+    def test_findings_published_and_correlated(self):
+        bus = EventBus()
+        correlator = LiveCorrelator(bus)
+        registry = self._registry_with_shares(
+            {"t-1": 0.04, "t-bad": 0.92})
+        detector = ResourceAbuseDetector(registry=registry, bus=bus)
+        detector.sample_metrics(now=10.0)
+        incidents = correlator.incidents()
+        assert len(incidents) == 1
+        assert incidents[0].key == "t-bad"
+        assert incidents[0].alerts[0].rule == "resource_abuse"
+
+    def test_traffic_run_feeds_detector_end_to_end(self):
+        run_traffic_experiment(n_tenants=4, seconds=0.3)
+        detector = ResourceAbuseDetector()   # process-wide registry
+        flagged = {f.tenant for f in detector.sample_metrics()}
+        assert flagged == {"tenant-hostile"}
+
+    def test_runtime_cpu_shares_via_observe_runtime(self):
+        from repro.platform.workloads import ml_inference_image
+        from repro.virt.container import ContainerSpec
+        from repro.virt.runtime import ContainerRuntime
+        registry = telemetry.MetricsRegistry()
+        runtime = ContainerRuntime("node", cpu_capacity=8.0)
+        greedy = runtime.run(ContainerSpec(image=ml_inference_image(),
+                                           tenant="t-greedy"))
+        runtime.consume(greedy.id, cpu=7.8)
+        TrafficTelemetry(registry=registry).observe_runtime(runtime)
+        findings = ResourceAbuseDetector(registry=registry).sample_metrics()
+        assert [f.tenant for f in findings] == ["t-greedy"]
+
+    def test_metrics_path_without_runtime_or_registry(self):
+        telemetry.set_telemetry_enabled(False)
+        detector = ResourceAbuseDetector()
+        assert detector.sample_metrics() == []
+        with pytest.raises(ValueError, match="no runtime"):
+            detector.sample()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestTrafficCli:
+    def test_traffic_command_prints_report(self, capsys):
+        from repro.__main__ import main
+        assert main(["traffic", "--tenants", "2",
+                     "--seconds", "0.2", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Jain fairness index" in out
+        assert "tenant-hostile" in out
+        assert "metrics-driven abuse findings: tenant-hostile" in out
+        assert "traffic_tenant_offered_share" in out
+
+    def test_usage_errors_exit_2(self, capsys):
+        from repro.__main__ import main
+        assert main(["traffic", "--tenants", "0"]) == 2
+        assert main(["traffic", "--seconds", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
