@@ -11,6 +11,9 @@ Commands:
 * ``traffic``   — run per-tenant load through the PON upstream under the
                   DBA + QoS traffic plane and print the fairness report
                   (with ``--no-dba``/``--no-qos`` ablations).
+* ``fleet``     — run N OLT shards concurrently under one discrete-event
+                  scheduler and print per-OLT plus fleet-aggregate
+                  metrics (throughput, Jain across OLTs, alert latency).
 
 ``secure`` and ``attack`` accept ``--metrics``: the run starts from a
 fresh process-wide registry and ends by printing the Prometheus-style
@@ -175,6 +178,25 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.traffic.fleet import run_fleet_experiment
+    if args.olts < 1:
+        print("error: --olts must be at least 1", file=sys.stderr)
+        return 2
+    if args.tenants < args.olts:
+        print("error: --tenants must be at least --olts "
+              "(one tenant per OLT)", file=sys.stderr)
+        return 2
+    if args.seconds <= 0:
+        print("error: --seconds must be positive", file=sys.stderr)
+        return 2
+    report = run_fleet_experiment(
+        n_olts=args.olts, n_tenants=args.tenants, seconds=args.seconds,
+        seed=args.seed, hostile=not args.no_hostile)
+    print(report.render())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -210,13 +232,26 @@ def main(argv=None) -> int:
     traffic.add_argument("--metrics", action="store_true",
                          help="print a Prometheus-style telemetry snapshot "
                               "and the metrics-driven abuse findings")
+    fleet = sub.add_parser(
+        "fleet", help="multi-OLT fleet under one discrete-event scheduler")
+    fleet.add_argument("--olts", type=int, default=4,
+                       help="number of OLT shards")
+    fleet.add_argument("--tenants", type=int, default=32,
+                       help="total tenants, split across the OLT shards")
+    fleet.add_argument("--seconds", type=float, default=2.0,
+                       help="simulated duration of the run")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="seed for workloads and event tie-breaking")
+    fleet.add_argument("--no-hostile", action="store_true",
+                       help="omit the flooding T8 tenant on the first OLT")
     cra = sub.add_parser("cra", help="Cyber Resilience Act readiness")
     cra.add_argument("--mitigations", default="all",
                      help="comma-separated mitigation ids, or 'all'/'none'")
     args = parser.parse_args(argv)
     handlers = {"inventory": _cmd_inventory, "threats": _cmd_threats,
                 "secure": _cmd_secure, "attack": _cmd_attack,
-                "traffic": _cmd_traffic, "cra": _cmd_cra}
+                "traffic": _cmd_traffic, "fleet": _cmd_fleet,
+                "cra": _cmd_cra}
     return handlers[args.command](args)
 
 

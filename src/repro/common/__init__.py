@@ -6,6 +6,8 @@ This package provides the primitives every substrate builds on:
   cryptography (hashing, HMAC, an authenticated stream cipher standing in
   for AES-GCM, and a from-scratch RSA for signatures and key exchange).
 * :mod:`repro.common.clock` -- a deterministic simulation clock.
+* :mod:`repro.common.sim` -- the discrete-event scheduler that owns all
+  time advancement (periodic tasks, one-shot events, batch stepping).
 * :mod:`repro.common.events` -- a typed event bus used for audit trails,
   runtime monitoring and experiment instrumentation.
 * :mod:`repro.common.errors` -- the exception hierarchy.
@@ -25,6 +27,7 @@ from repro.common.errors import (
     NotFoundError,
 )
 from repro.common.events import Event, EventBus
+from repro.common.sim import PeriodicTask, ScheduledEvent, Scheduler
 from repro.common.ids import IdGenerator
 from repro.common.telemetry import (
     MetricsRegistry,
@@ -38,6 +41,9 @@ from repro.common.telemetry import (
 
 __all__ = [
     "SimClock",
+    "Scheduler",
+    "PeriodicTask",
+    "ScheduledEvent",
     "MetricsRegistry",
     "Span",
     "Tracer",

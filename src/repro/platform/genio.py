@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.clock import SimClock
+from repro.common.sim import Scheduler
 from repro.common.events import EventBus
 from repro.orchestrator.kube.cluster import KubeCluster
 from repro.orchestrator.kube.objects import Namespace
@@ -51,6 +52,7 @@ class GenioDeployment:
 
     clock: SimClock
     bus: EventBus
+    scheduler: Scheduler
     cloud_node: Host
     cloud_cluster: KubeCluster
     olts: List[OltNode]
@@ -130,6 +132,10 @@ def build_genio_deployment(
     """Stand up the full platform with every component's insecure defaults."""
     clock = SimClock()
     bus = EventBus()
+    # One time authority for the whole deployment: operational cadences
+    # (patching, key rotation, monitor sampling, traffic cycles) register
+    # tasks here instead of advancing the shared clock themselves.
+    scheduler = Scheduler(clock=clock)
 
     # -- cloud layer --------------------------------------------------------------
     cloud = cloud_host("cloud-ctl-1", clock=clock, bus=bus)
@@ -196,6 +202,7 @@ def build_genio_deployment(
         voltha.attach_olt(pon.olt)
 
     return GenioDeployment(
-        clock=clock, bus=bus, cloud_node=cloud, cloud_cluster=cluster,
+        clock=clock, bus=bus, scheduler=scheduler,
+        cloud_node=cloud, cloud_cluster=cluster,
         olts=olts, onus=onus, proxmox=proxmox, sdn=sdn, voltha=voltha,
         registry=registry, tenants=tenants)

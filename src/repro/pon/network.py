@@ -95,7 +95,14 @@ class PonNetwork:
 
     def send_downstream(self, serial: str, payload: bytes,
                         kind: FrameKind = FrameKind.DATA, port_index: int = 0) -> float:
-        """Send one downstream frame and account it in :attr:`stats`."""
+        """Send one downstream frame and account it in :attr:`stats`.
+
+        Delivery is synchronous and the transmission delay is *accounted*
+        (stats, histogram) but never applied to the clock — time
+        advancement belongs exclusively to the scheduler in
+        :mod:`repro.common.sim`, so two networks sharing a clock cannot
+        skew each other's timestamps.
+        """
         delay = self.olt.send_downstream(port_index, serial, payload, kind=kind)
         gem_overhead = 5 + 18
         self.stats.frames_sent += 1
@@ -103,7 +110,6 @@ class PonNetwork:
         self.stats.total_delay_s += delay
         if self._tx_delay_histogram is not None:
             self._tx_delay_histogram.observe(delay)
-        self.clock.advance(delay)
         return delay
 
     def send_upstream(self, serial: str, payload: bytes,

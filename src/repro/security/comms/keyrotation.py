@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.clock import SimClock
+from repro.common.sim import PeriodicTask, Scheduler
 from repro.pon.network import PonNetwork
 
 
@@ -60,14 +61,24 @@ class KeyRotationService:
         self.history.append(record)
         return record
 
-    def start(self, horizon_s: float) -> None:
-        """Schedule periodic rotation until ``horizon_s`` from now."""
-        end = self.clock.now + horizon_s
+    def schedule(self, scheduler: Scheduler,
+                 horizon_s: Optional[float] = None) -> PeriodicTask:
+        """Register the rotation sweep as a periodic task on ``scheduler``.
 
-        def sweep_and_reschedule() -> None:
-            self.rotate_now()
-            if self.clock.now + self.period_s <= end:
-                self.clock.call_later(self.period_s, sweep_and_reschedule)
-
-        self.clock.call_later(self.period_s, sweep_and_reschedule)
+        With no ``horizon_s`` the task rotates forever (fleet/operations
+        mode); with one it stops at the horizon, matching :meth:`start`.
+        """
+        until = None if horizon_s is None else scheduler.now + horizon_s
+        task = scheduler.every(self.period_s, self.rotate_now,
+                               name=f"keyrotation/{self.network.olt.name}",
+                               until=until)
         self._scheduled = True
+        return task
+
+    def start(self, horizon_s: float) -> None:
+        """Schedule periodic rotation until ``horizon_s`` from now.
+
+        The timers land on the service's clock, so legacy callers that
+        advance the clock directly still get their sweeps.
+        """
+        self.schedule(Scheduler(clock=self.clock), horizon_s)

@@ -19,6 +19,10 @@ Both paths flag on two rules: relative (share above fair share x
 tolerance, needs at least two peers to define "fair") and absolute
 (share above ``absolute_cap`` regardless of peer count — a single tenant
 saturating a node is abuse even with nobody to compare against).
+``persistence`` requires a tenant to breach on that many *consecutive*
+sampling passes before it is flagged — the alert-fatigue knob: a bursty
+but well-behaved tenant briefly spikes above 2x fair share, a flooder
+stays there pass after pass.
 
 When a bus is attached, each finding is also published as a
 ``monitor.alert`` event (rule ``resource_abuse``) with a ``tenant=``
@@ -79,17 +83,22 @@ class ResourceAbuseDetector:
                  absolute_cap: float = 0.9,
                  registry: Optional[telemetry.MetricsRegistry] = None,
                  share_metrics: Sequence[str] = DEFAULT_SHARE_METRICS,
-                 bus: Optional[EventBus] = None) -> None:
+                 bus: Optional[EventBus] = None,
+                 persistence: int = 1) -> None:
         if tolerance < 1.0:
             raise ValueError("tolerance must be >= 1.0")
         if not 0.0 < absolute_cap <= 1.0:
             raise ValueError("absolute_cap must be in (0, 1]")
+        if persistence < 1:
+            raise ValueError("persistence must be >= 1")
         self.runtime = runtime
         self.tolerance = tolerance
         self.absolute_cap = absolute_cap
         self.share_metrics = tuple(share_metrics)
         self._registry = registry
         self._bus = bus
+        self.persistence = persistence
+        self._streaks: dict = {}
         self.findings: List[AbuseFinding] = []
 
     # -- the metrics path (primary) ---------------------------------------------
@@ -131,8 +140,22 @@ class ResourceAbuseDetector:
                     metric=name,
                     detail=(f"{name}{{tenant={tenant}}} at {share:.0%} "
                             f"vs fair share {fair:.0%}: {reason}")))
+        current = self._persist(current)
         self._record(current, now)
         return current
+
+    def schedule_sampling(self, scheduler, interval_s: float,
+                          until: Optional[float] = None):
+        """Register periodic metrics sampling on a sim scheduler.
+
+        ``scheduler`` is duck-typed (anything with ``every``/``now``) so
+        the monitor layer stays import-light. Each firing runs
+        :meth:`sample_metrics` stamped with the scheduler's own time.
+        """
+        return scheduler.every(
+            interval_s,
+            lambda: self.sample_metrics(now=scheduler.now),
+            name="abuse-detector/sample", until=until)
 
     # -- the runtime path (fallback) --------------------------------------------
 
@@ -161,6 +184,7 @@ class ResourceAbuseDetector:
                     fair_share=round(fair, 4),
                     detail=(f"consuming {worst:.0%} of node vs fair share "
                             f"{fair:.0%}: {reason}")))
+        current = self._persist(current)
         self._record(current, now)
         return current
 
@@ -174,6 +198,19 @@ class ResourceAbuseDetector:
         return evicted
 
     # -- shared judgement --------------------------------------------------------
+
+    def _persist(self, current: List[AbuseFinding]) -> List[AbuseFinding]:
+        """Keep only tenants breaching ``persistence`` passes in a row."""
+        if self.persistence == 1:
+            return current
+        breached = {finding.tenant for finding in current}
+        for tenant in list(self._streaks):
+            if tenant not in breached:
+                del self._streaks[tenant]
+        for tenant in breached:
+            self._streaks[tenant] = self._streaks.get(tenant, 0) + 1
+        return [finding for finding in current
+                if self._streaks[finding.tenant] >= self.persistence]
 
     def _judge(self, share: float, fair: float,
                peers: int) -> Optional[str]:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.clock import SimClock
+from repro.common.sim import PeriodicTask, Scheduler
 from repro.osmodel.host import Host
 from repro.security.vulnmgmt.cvedb import CveDatabase, CveRecord
 from repro.security.vulnmgmt.feeds import FeedAggregator
@@ -101,18 +102,23 @@ class VulnerabilityOperations:
 
     # -- the campaign -----------------------------------------------------------
 
+    def schedule(self, scheduler: Scheduler, days: float) -> PeriodicTask:
+        """Register the patch cadence as a periodic task on ``scheduler``.
+
+        Does not advance time — the scheduler's owner batch-steps the
+        whole world (patch cycles interleaved with traffic, rotation,
+        monitoring) and reads :meth:`attack_window_stats` afterwards.
+        """
+        cadence_s = self.patch_cadence_days * _DAY
+        end = scheduler.now + days * _DAY
+        return scheduler.every(cadence_s, self.run_cycle,
+                               name=f"vulnops/{self.host.hostname}", until=end)
+
     def run_for(self, days: float) -> None:
         """Advance simulated time, running cycles at the configured cadence."""
-        cadence_s = self.patch_cadence_days * _DAY
-        end = self.clock.now + days * _DAY
-
-        def cycle_and_reschedule() -> None:
-            self.run_cycle()
-            if self.clock.now + cadence_s <= end:
-                self.clock.call_later(cadence_s, cycle_and_reschedule)
-
-        self.clock.call_later(cadence_s, cycle_and_reschedule)
-        self.clock.advance_to(end)
+        engine = Scheduler(clock=self.clock)
+        self.schedule(engine, days)
+        engine.run_for(days * _DAY)
 
     # -- metrics -----------------------------------------------------------------
 

@@ -19,6 +19,10 @@ measurable rather than asserted.
 """
 
 from repro.traffic.dba import CompletedRequest, DbaScheduler, TCont
+from repro.traffic.fleet import (
+    FleetDriver, FleetReport, OltShard, fleet_tenant_specs,
+    run_fleet_experiment,
+)
 from repro.traffic.loadgen import (
     LoadGenerator, TenantReport, TenantSpec, TrafficReport, jain_index,
     run_genio_traffic, run_traffic_experiment, standard_tenant_specs,
@@ -35,8 +39,11 @@ __all__ = [
     "CompletedRequest",
     "DbaScheduler",
     "DiurnalProfile",
+    "FleetDriver",
+    "FleetReport",
     "HostileFloodProfile",
     "LoadGenerator",
+    "OltShard",
     "QosEnforcer",
     "Request",
     "SteadyProfile",
@@ -48,8 +55,10 @@ __all__ = [
     "TrafficReport",
     "TrafficTelemetry",
     "WorkloadProfile",
+    "fleet_tenant_specs",
     "jain_index",
     "make_profile",
+    "run_fleet_experiment",
     "run_genio_traffic",
     "run_traffic_experiment",
     "standard_tenant_specs",

@@ -1,0 +1,271 @@
+"""Multi-OLT fleet driver: N PON plants under one discrete-event engine.
+
+One :class:`~repro.common.sim.Scheduler` owns time for the whole fleet;
+every OLT shard (a :class:`~repro.pon.network.PonNetwork` with its own
+tenants, DBA scheduler and QoS enforcer) registers its traffic-cycle
+task on it, so the shards run *concurrently in simulated time* with
+deterministic, seeded interleaving — the scale-out the single-OLT
+``loadgen`` could not express.
+
+Fleet telemetry is deliberately fleet-normalized: per-OLT generators run
+with telemetry disabled (an OLT-local share gauge would make a benign
+tenant on a quiet OLT look like a noisy neighbour fleet-wide), and a
+periodic monitor task publishes each tenant's share of the *fleet's*
+offered load into a fleet-local registry, which the metrics-driven
+:class:`~repro.security.monitor.abuse.ResourceAbuseDetector` samples.
+Abuse alerts land on the shared bus; the fleet report records per-tenant
+alert latency (first ``monitor.alert`` timestamp), aggregate throughput
+and Jain fairness *across OLTs* — the numbers the DSN paper's monitoring
+lessons (T6-T8, M15/M18) only make quantifiable at fleet scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.clock import SimClock
+from repro.common.events import Event, EventBus
+from repro.common.sim import Scheduler
+from repro.common.telemetry import MetricsRegistry
+from repro.pon.network import PonNetwork
+from repro.security.monitor.abuse import ResourceAbuseDetector
+from repro.security.monitor.falco import FalcoEngine
+from repro.traffic.loadgen import (
+    LoadGenerator, TenantSpec, TrafficReport, jain_index,
+)
+from repro.traffic.telemetry import OFFERED_SHARE_GAUGE, TrafficTelemetry
+
+__all__ = ["OltShard", "FleetReport", "FleetDriver", "fleet_tenant_specs",
+           "run_fleet_experiment"]
+
+_BENIGN_PROFILES = ("steady", "bursty", "diurnal")
+
+
+def fleet_tenant_specs(olt_index: int, count: int, hostile: bool,
+                       rate_bps: float = 100e6) -> List[TenantSpec]:
+    """Tenant specs for one shard, named uniquely across the fleet.
+
+    With ``hostile`` the shard's last tenant floods (priority 3, the
+    best-effort tier a flooder actually occupies); the rest rotate
+    through the well-behaved profiles.
+    """
+    if count < 1:
+        raise ValueError("each OLT needs at least one tenant")
+    specs: List[TenantSpec] = []
+    for slot in range(1, count + 1):
+        if hostile and slot == count:
+            specs.append(TenantSpec(
+                tenant=f"olt{olt_index}-tenant-hostile",
+                serial=f"FLT{olt_index:02d}9999",
+                profile="hostile", rate_bps=rate_bps, priority=3))
+        else:
+            specs.append(TenantSpec(
+                tenant=f"olt{olt_index}-tenant-{slot:02d}",
+                serial=f"FLT{olt_index:02d}{slot:04d}",
+                profile=_BENIGN_PROFILES[(slot - 1) % len(_BENIGN_PROFILES)],
+                rate_bps=rate_bps))
+    return specs
+
+
+@dataclass
+class OltShard:
+    """One OLT's slice of the fleet: plant + generator + tenant specs."""
+
+    name: str
+    network: PonNetwork
+    generator: LoadGenerator
+    specs: List[TenantSpec]
+
+    @property
+    def tenant_names(self) -> List[str]:
+        return [spec.tenant for spec in self.specs]
+
+
+@dataclass
+class FleetReport:
+    """Per-OLT rows plus the fleet-level aggregates."""
+
+    duration_s: float
+    seed: int
+    olts: Dict[str, TrafficReport] = field(default_factory=dict)
+    hostile_tenants: List[str] = field(default_factory=list)
+    alert_first_at: Dict[str, float] = field(default_factory=dict)
+    started_at: float = 0.0
+    scheduler_events: int = 0
+    monitor_passes: int = 0
+
+    def olt_throughput_bps(self, olt: str) -> float:
+        report = self.olts[olt]
+        return sum(row.throughput_bps for row in report.tenants.values())
+
+    @property
+    def fleet_throughput_bps(self) -> float:
+        return sum(self.olt_throughput_bps(olt) for olt in self.olts)
+
+    def jain_across_olts(self) -> float:
+        """Fairness of the fleet's delivered throughput between OLTs."""
+        return jain_index([self.olt_throughput_bps(olt)
+                           for olt in sorted(self.olts)])
+
+    def alert_latency_s(self, tenant: str) -> Optional[float]:
+        """Time from fleet start to the tenant's first abuse alert."""
+        at = self.alert_first_at.get(tenant)
+        return None if at is None else at - self.started_at
+
+    def render(self) -> str:
+        n_tenants = sum(len(r.tenants) for r in self.olts.values())
+        lines = [
+            f"fleet run: {len(self.olts)} OLTs x {n_tenants} tenants, "
+            f"{self.duration_s:g}s simulated, seed {self.seed}",
+            f"scheduler: {self.scheduler_events} events fired, "
+            f"{self.monitor_passes} monitor passes",
+            "",
+            f"{'olt':<12} {'tenants':>7} {'Mbps':>10} {'jain':>7} "
+            f"{'drops':>7}",
+        ]
+        for olt in sorted(self.olts):
+            report = self.olts[olt]
+            drops = sum(row.dropped_requests
+                        for row in report.tenants.values())
+            lines.append(
+                f"{olt:<12} {len(report.tenants):>7} "
+                f"{self.olt_throughput_bps(olt) / 1e6:>10.1f} "
+                f"{report.jain():>7.3f} {drops:>7}")
+        lines.append("")
+        lines.append(
+            f"fleet throughput: {self.fleet_throughput_bps / 1e6:.1f} Mbps"
+            f" | Jain across OLTs: {self.jain_across_olts():.3f}")
+        if self.hostile_tenants:
+            for tenant in self.hostile_tenants:
+                latency = self.alert_latency_s(tenant)
+                lines.append(
+                    f"abuse alert for {tenant}: "
+                    + (f"first flagged at t={self.alert_first_at[tenant]:g}s"
+                       f" (latency {latency:g}s)"
+                       if latency is not None else "NOT flagged"))
+        benign_flagged = sorted(t for t in self.alert_first_at
+                                if t not in self.hostile_tenants)
+        if benign_flagged:
+            lines.append("false positives: " + ", ".join(benign_flagged))
+        return "\n".join(lines)
+
+
+class FleetDriver:
+    """Runs N OLT shards concurrently under one sim scheduler."""
+
+    def __init__(self, n_olts: int = 4, n_tenants: int = 32, seed: int = 0,
+                 cycle_s: float = 0.02, rate_bps: float = 100e6,
+                 hostile: bool = True,
+                 monitor_interval_s: float = 0.1,
+                 alert_persistence: int = 2) -> None:
+        if n_olts < 1:
+            raise ValueError("need at least one OLT")
+        if n_tenants < n_olts:
+            raise ValueError("need at least one tenant per OLT")
+        if monitor_interval_s <= 0:
+            raise ValueError("monitor interval must be positive")
+        self.seed = seed
+        self.monitor_interval_s = monitor_interval_s
+        self.clock = SimClock()
+        self.bus = EventBus()
+        self.scheduler = Scheduler(clock=self.clock, seed=seed)
+        # Fleet-local registry: the abuse detector samples *fleet*
+        # shares, never the process-wide registry of whoever embeds us.
+        self.registry = MetricsRegistry()
+        self._offered_gauge = self.registry.gauge(
+            OFFERED_SHARE_GAUGE,
+            "Fraction of fleet-wide offered upstream load, per tenant.",
+            ("tenant",))
+        # Persistence > 1 is the alert-fatigue knob: a bursty tenant's
+        # spike breaches one monitor pass, a flooder breaches them all.
+        self.detector = ResourceAbuseDetector(
+            registry=self.registry, bus=self.bus,
+            persistence=alert_persistence)
+        self.falco = FalcoEngine()
+        self.falco.attach(self.bus)
+        self.alert_first_at: Dict[str, float] = {}
+        self.bus.subscribe("monitor.alert", self._on_alert)
+        self.monitor_passes = 0
+
+        self.shards: List[OltShard] = []
+        base, extra = divmod(n_tenants, n_olts)
+        for olt_index in range(1, n_olts + 1):
+            count = base + (1 if olt_index <= extra else 0)
+            # One flooder per fleet, on the first shard: the detector
+            # must pick it out of fleet-normalized shares.
+            specs = fleet_tenant_specs(olt_index, count,
+                                       hostile=hostile and olt_index == 1,
+                                       rate_bps=rate_bps)
+            network = PonNetwork.build(f"olt-{olt_index}",
+                                       clock=self.clock, bus=self.bus)
+            generator = LoadGenerator(
+                network, specs, cycle_s=cycle_s, seed=seed,
+                sim=self.scheduler,
+                traffic_telemetry=TrafficTelemetry.disabled())
+            self.shards.append(OltShard(name=f"olt-{olt_index}",
+                                        network=network,
+                                        generator=generator, specs=specs))
+
+    # -- monitoring --------------------------------------------------------------
+
+    def _on_alert(self, event: Event) -> None:
+        summary = str(event.payload.get("summary", ""))
+        token = summary.split(" ", 1)[0]
+        if token.startswith("tenant="):
+            self.alert_first_at.setdefault(token[len("tenant="):],
+                                           event.timestamp)
+
+    def _monitor_pass(self) -> None:
+        """Publish fleet-normalized offered shares, then sample them."""
+        self.monitor_passes += 1
+        offered: Dict[str, int] = {}
+        for shard in self.shards:
+            for tenant, nbytes in shard.generator._offered.items():
+                offered[tenant] = nbytes
+        total = sum(offered.values())
+        for tenant in sorted(offered):
+            share = offered[tenant] / total if total else 0.0
+            self._offered_gauge.set(round(share, 6), tenant=tenant)
+        self.detector.sample_metrics(now=self.scheduler.now)
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(self, seconds: float) -> FleetReport:
+        """Drive every shard for ``seconds`` of simulated time."""
+        if seconds <= 0:
+            raise ValueError("duration must be positive")
+        started_at = self.clock.now
+        for shard in self.shards:
+            shard.generator.start(seconds)
+        # All generators share cycle_s, so they agree on the horizon.
+        duration = self.shards[0].generator._n_cycles \
+            * self.shards[0].generator.cycle_s
+        end = started_at + duration
+        self.scheduler.every(self.monitor_interval_s, self._monitor_pass,
+                             name="fleet/monitor", until=end)
+        self.falco.schedule_stats(self.scheduler, self.monitor_interval_s,
+                                  until=end)
+        self.scheduler.run_until(end)
+
+        report = FleetReport(
+            duration_s=duration, seed=self.seed, started_at=started_at,
+            scheduler_events=self.scheduler.events_fired,
+            monitor_passes=self.monitor_passes,
+            alert_first_at=dict(self.alert_first_at),
+            hostile_tenants=[spec.tenant for shard in self.shards
+                             for spec in shard.specs
+                             if spec.profile == "hostile"])
+        for shard in self.shards:
+            report.olts[shard.name] = shard.generator.report()
+        return report
+
+
+def run_fleet_experiment(n_olts: int = 4, n_tenants: int = 32,
+                         seconds: float = 2.0, seed: int = 0,
+                         hostile: bool = True,
+                         cycle_s: float = 0.02) -> FleetReport:
+    """Stand up a fleet and run it — the E19 / CLI entry point."""
+    driver = FleetDriver(n_olts=n_olts, n_tenants=n_tenants, seed=seed,
+                         hostile=hostile, cycle_s=cycle_s)
+    return driver.run(seconds)

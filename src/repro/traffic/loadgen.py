@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.common.sim import PeriodicTask, Scheduler
 from repro.pon.network import PonNetwork
 from repro.pon.onu import Onu
 from repro.traffic.dba import DbaScheduler, TCont
@@ -149,6 +150,7 @@ class LoadGenerator:
         seed: int = 0,
         qos_headroom: float = 1.5,
         traffic_telemetry: Optional[TrafficTelemetry] = None,
+        sim: Optional[Scheduler] = None,
     ) -> None:
         if not specs:
             raise ValueError("at least one tenant spec is required")
@@ -163,6 +165,11 @@ class LoadGenerator:
         self.cycle_s = cycle_s
         self._clock = network.clock
         self._bus = network.bus
+        # The sim engine driving this generator's cadence. A fleet run
+        # passes one shared Scheduler so every OLT's cycle task is
+        # interleaved deterministically under a single time authority.
+        self.sim = sim if sim is not None \
+            else Scheduler(clock=network.clock, seed=seed)
 
         self.scheduler = DbaScheduler(
             policy="fair" if dba_enabled else "proportional",
@@ -189,52 +196,68 @@ class LoadGenerator:
                 self.qos.add_tenant(spec.tenant,
                                     rate_bps=spec.rate_bps * qos_headroom)
 
-    def run(self, seconds: float) -> TrafficReport:
-        """Simulate ``seconds`` of load; returns the per-tenant report."""
+    def start(self, seconds: float) -> PeriodicTask:
+        """Register the per-cycle task with the sim engine.
+
+        Does *not* advance time — the caller (or a fleet driver sharing
+        the scheduler across many generators) batch-steps the world and
+        then collects :meth:`report`.
+        """
         if seconds <= 0:
             raise ValueError("duration must be positive")
-        n_cycles = max(1, round(seconds / self.cycle_s))
-        offered: Dict[str, int] = {s.tenant: 0 for s in self.specs}
-        delivered: Dict[str, int] = {s.tenant: 0 for s in self.specs}
-        latencies: Dict[str, List[float]] = {s.tenant: [] for s in self.specs}
+        self._n_cycles = max(1, round(seconds / self.cycle_s))
+        self._offered = {s.tenant: 0 for s in self.specs}
+        self._delivered = {s.tenant: 0 for s in self.specs}
+        self._latencies: Dict[str, List[float]] = {
+            s.tenant: [] for s in self.specs}
+        self._task = self.sim.every(
+            self.cycle_s, self._cycle,
+            name=f"{self.network.olt.name}/traffic-cycle",
+            first_at=self._clock.now, max_fires=self._n_cycles)
+        return self._task
 
-        for _ in range(n_cycles):
-            now = self._clock.now
-            cycle_offered: Dict[str, int] = {}
-            arrivals: List[Request] = []
-            for spec in self.specs:
-                batch = self._profiles[spec.tenant].batch(now, self.cycle_s)
-                nbytes = sum(r.size_bytes for r in batch)
-                cycle_offered[spec.tenant] = nbytes
-                offered[spec.tenant] += nbytes
-                arrivals.extend(batch)
+    def _cycle(self) -> None:
+        """One DBA cycle: generate, police, grant, drain, account."""
+        now = self._clock.now
+        cycle_offered: Dict[str, int] = {}
+        arrivals: List[Request] = []
+        for spec in self.specs:
+            batch = self._profiles[spec.tenant].batch(now, self.cycle_s)
+            nbytes = sum(r.size_bytes for r in batch)
+            cycle_offered[spec.tenant] = nbytes
+            self._offered[spec.tenant] += nbytes
+            arrivals.extend(batch)
 
-            if self.qos is not None:
-                admitted = self.qos.admit(arrivals, now)
-            else:
-                admitted = arrivals
-            for request in admitted:
-                self._tconts[request.tenant].offer(request)
+        if self.qos is not None:
+            admitted = self.qos.admit(arrivals, now)
+        else:
+            admitted = arrivals
+        for request in admitted:
+            self._tconts[request.tenant].offer(request)
 
-            grants = self.network.olt.run_dba_cycle(self.cycle_s)
-            cycle_end = now + self.cycle_s
-            cycle_delivered: Dict[str, int] = {}
-            for spec in self.specs:
-                tcont = self._tconts[spec.tenant]
-                sent, completed = tcont.drain(
-                    grants.get(tcont.alloc_id, 0), cycle_end)
-                cycle_delivered[spec.tenant] = sent
-                if sent:
-                    delivered[spec.tenant] += sent
-                    self.network.send_upstream(spec.serial, b"",
-                                               size_override=sent)
-                latencies[spec.tenant].extend(
-                    c.latency_s for c in completed)
+        grants = self.network.olt.run_dba_cycle(self.cycle_s)
+        cycle_end = now + self.cycle_s
+        cycle_delivered: Dict[str, int] = {}
+        for spec in self.specs:
+            tcont = self._tconts[spec.tenant]
+            sent, completed = tcont.drain(
+                grants.get(tcont.alloc_id, 0), cycle_end)
+            cycle_delivered[spec.tenant] = sent
+            if sent:
+                self._delivered[spec.tenant] += sent
+                self.network.send_upstream(spec.serial, b"",
+                                           size_override=sent)
+            self._latencies[spec.tenant].extend(
+                c.latency_s for c in completed)
 
-            self.telemetry.record_cycle(cycle_offered, cycle_delivered)
-            self._clock.advance(self.cycle_s)
+        self.telemetry.record_cycle(cycle_offered, cycle_delivered)
 
-        duration = n_cycles * self.cycle_s
+    def report(self) -> TrafficReport:
+        """Per-tenant report over the cycles run since :meth:`start`."""
+        offered = self._offered
+        delivered = self._delivered
+        latencies = self._latencies
+        duration = self._n_cycles * self.cycle_s
         total_delivered = sum(delivered.values())
         report = TrafficReport(
             duration_s=duration,
@@ -261,6 +284,17 @@ class LoadGenerator:
                 bandwidth_share=(delivered[spec.tenant] / total_delivered
                                  if total_delivered else 0.0))
         return report
+
+    def run(self, seconds: float) -> TrafficReport:
+        """Simulate ``seconds`` of load; returns the per-tenant report.
+
+        Convenience wrapper: registers the cycle task and batch-steps the
+        sim engine through it. Equivalent to ``start`` + ``run_for`` +
+        ``report``.
+        """
+        self.start(seconds)
+        self.sim.run_for(self._n_cycles * self.cycle_s)
+        return self.report()
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:

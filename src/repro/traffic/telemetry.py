@@ -81,6 +81,19 @@ class TrafficTelemetry:
                 "CPU share per tenant per sampling pass.",
                 ("tenant",), buckets=SHARE_BUCKETS)
 
+    @classmethod
+    def disabled(cls) -> "TrafficTelemetry":
+        """A no-op instance regardless of the process-wide registry.
+
+        The fleet driver hands this to its per-OLT generators: per-OLT
+        share gauges would make benign tenants on quiet OLTs look like
+        noisy neighbours fleet-wide, so the fleet publishes its own
+        fleet-normalized shares instead.
+        """
+        instance = cls.__new__(cls)
+        instance._metrics = None
+        return instance
+
     @property
     def enabled(self) -> bool:
         return self._metrics is not None

@@ -204,6 +204,32 @@ class TestTrafficFlow:
         assert network.stats.bytes_sent == 10 * 123
         assert network.stats.goodput_bps > 0
 
+    def test_send_downstream_does_not_advance_the_clock(self, network):
+        # Regression: send_downstream used to mutate global time as a
+        # side effect; delivery is now synchronous and time belongs to
+        # the scheduler.
+        before = network.clock.now
+        network.send_downstream("ONU-A", b"x" * 1000)
+        assert network.clock.now == before
+
+    def test_networks_sharing_a_clock_do_not_skew_each_other(self):
+        # Two OLT shards on one fleet clock: traffic on one must not
+        # shift the timestamps the other observes.
+        from repro.common.clock import SimClock
+        clock = SimClock()
+        first = PonNetwork.build("olt-1", clock=clock)
+        second = PonNetwork.build("olt-2", clock=clock)
+        first.attach_onu(Onu("ONU-1A"))
+        clock.advance(5.0)
+        for _ in range(50):
+            first.send_downstream("ONU-1A", b"x" * 1000)
+        # The second plant's activation audit log stamps the shared
+        # clock — still t=5.0, untouched by the first plant's traffic.
+        second.attach_onu(Onu("ONU-2A"))
+        assert second.olt.activation_log[-1].timestamp == 5.0
+        assert clock.now == 5.0
+        assert first.stats.frames_sent == 50
+
     def test_ethernet_link_carries_and_taps(self):
         from repro.common.clock import SimClock
         link = EthernetLink("l", SimClock())

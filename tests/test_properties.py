@@ -198,3 +198,68 @@ class TestPeachProperties:
             capabilities_minimal=True, images_scanned=True,
             runtime_monitoring=True, network_default_deny=True)
         assert peach_score(stronger).overall >= assessment.overall
+
+
+class TestDbaBatchingProperties:
+    """The batched fair-policy grant path must be byte-identical to the
+    reference (guaranteed round + progressive tier fill) it replaces."""
+
+    _tcont_config = st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),      # priority
+                  st.floats(min_value=0.1, max_value=8.0),    # weight
+                  st.integers(min_value=0, max_value=200_000)),  # queued
+        min_size=1, max_size=24)
+
+    @given(_tcont_config,
+           st.integers(min_value=0, max_value=500_000),
+           st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_batched_grants_equal_reference(self, config, capacity,
+                                            guaranteed):
+        from repro.traffic.dba import DbaScheduler
+        from repro.traffic.profiles import Request
+
+        def build(batched):
+            dba = DbaScheduler(guaranteed_share=guaranteed, batched=batched)
+            for i, (priority, weight, queued) in enumerate(config):
+                tcont = dba.register_tcont(f"S{i}", f"t-{i}",
+                                           priority=priority, weight=weight)
+                if queued:
+                    tcont.offer(Request(tenant=f"t-{i}", size_bytes=queued,
+                                        issued_at=0.0))
+            return dba
+
+        reference = build(batched=False).grant(capacity)
+        batched = build(batched=True).grant(capacity)
+        assert batched == reference
+        total_backlog = sum(q for _, _, q in config)
+        assert sum(batched.values()) == min(capacity, total_backlog)
+
+
+class TestFleetDeterminismProperties:
+    """Same seed + same fleet config => byte-identical event ordering and
+    final metrics across independent runs (the reproducibility the sim
+    refactor exists to guarantee)."""
+
+    @given(st.integers(min_value=0, max_value=2**31),
+           st.integers(min_value=1, max_value=3),
+           st.integers(min_value=3, max_value=9),
+           st.booleans())
+    @settings(max_examples=8, deadline=None)
+    def test_same_seed_identical_trace_and_report(self, seed, n_olts,
+                                                  n_tenants, hostile):
+        from repro.traffic.fleet import FleetDriver
+        assume(n_tenants >= n_olts)
+
+        def run():
+            driver = FleetDriver(n_olts=n_olts, n_tenants=n_tenants,
+                                 seed=seed, hostile=hostile)
+            trace = driver.scheduler.enable_trace()
+            report = driver.run(0.2)
+            return list(trace), report.render(), report.alert_first_at
+
+        first_trace, first_render, first_alerts = run()
+        second_trace, second_render, second_alerts = run()
+        assert first_trace == second_trace
+        assert first_render == second_render
+        assert first_alerts == second_alerts

@@ -431,6 +431,25 @@ class TestMetricsDrivenAbuseDetection:
         with pytest.raises(ValueError, match="no runtime"):
             detector.sample()
 
+    def test_persistence_suppresses_transient_spikes(self):
+        registry = self._registry_with_shares(
+            {"t-1": 0.05, "t-2": 0.05, "t-3": 0.05, "t-bad": 0.85})
+        gauge = registry.get(OFFERED_SHARE_GAUGE)
+        detector = ResourceAbuseDetector(registry=registry, persistence=2)
+        # Pass 1: t-bad breaches but has no streak yet — suppressed.
+        assert detector.sample_metrics() == []
+        # The spike subsides before pass 2: streak resets, never flagged.
+        gauge.set(0.1, tenant="t-bad")
+        assert detector.sample_metrics() == []
+        # A sustained breach is flagged on the second consecutive pass.
+        gauge.set(0.85, tenant="t-bad")
+        assert detector.sample_metrics() == []
+        assert [f.tenant for f in detector.sample_metrics()] == ["t-bad"]
+
+    def test_persistence_must_be_positive(self):
+        with pytest.raises(ValueError, match="persistence"):
+            ResourceAbuseDetector(persistence=0)
+
 
 # ---------------------------------------------------------------------------
 # CLI
