@@ -11,9 +11,11 @@ Commands:
 * ``traffic``   — run per-tenant load through the PON upstream under the
                   DBA + QoS traffic plane and print the fairness report
                   (with ``--no-dba``/``--no-qos`` ablations).
-* ``fleet``     — run N OLT shards concurrently under one discrete-event
-                  scheduler and print per-OLT plus fleet-aggregate
-                  metrics (throughput, Jain across OLTs, alert latency).
+* ``fleet``     — run N self-contained OLT shards through the shard pool
+                  (``--workers N`` spreads them over worker processes;
+                  same-seed output is byte-identical for any worker
+                  count) and print per-OLT plus fleet-aggregate metrics
+                  (throughput, Jain across OLTs, alert latency).
 
 ``secure`` and ``attack`` accept ``--metrics``: the run starts from a
 fresh process-wide registry and ends by printing the Prometheus-style
@@ -179,7 +181,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.traffic.fleet import run_fleet_experiment
+    from repro.traffic.fleet import run_fleet_parallel
     if args.olts < 1:
         print("error: --olts must be at least 1", file=sys.stderr)
         return 2
@@ -190,9 +192,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.seconds <= 0:
         print("error: --seconds must be positive", file=sys.stderr)
         return 2
-    report = run_fleet_experiment(
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    report = run_fleet_parallel(
         n_olts=args.olts, n_tenants=args.tenants, seconds=args.seconds,
-        seed=args.seed, hostile=not args.no_hostile)
+        seed=args.seed, hostile=not args.no_hostile, workers=args.workers)
     print(report.render())
     return 0
 
@@ -244,6 +249,10 @@ def main(argv=None) -> int:
                        help="seed for workloads and event tie-breaking")
     fleet.add_argument("--no-hostile", action="store_true",
                        help="omit the flooding T8 tenant on the first OLT")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the shard pool (1 = "
+                            "in-process; output is byte-identical for "
+                            "any value)")
     cra = sub.add_parser("cra", help="Cyber Resilience Act readiness")
     cra.add_argument("--mitigations", default="all",
                      help="comma-separated mitigation ids, or 'all'/'none'")

@@ -60,7 +60,7 @@ class PeriodicTask:
     """
 
     __slots__ = ("name", "interval", "until", "max_fires", "fires",
-                 "next_at", "_fn", "_cancelled")
+                 "next_at", "_fn", "_cancelled", "_fire")
 
     def __init__(self, name: str, interval: float, fn: Callable[[], None],
                  first_at: float, until: Optional[float],
@@ -73,6 +73,7 @@ class PeriodicTask:
         self.next_at = first_at
         self._fn = fn
         self._cancelled = False
+        self._fire: Optional[Callable[[], None]] = None
 
     @property
     def cancelled(self) -> bool:
@@ -198,14 +199,21 @@ class Scheduler:
         if task.done:
             return
 
-        def fire() -> None:
-            if task._cancelled:
-                return
-            task.fires += 1
-            self._record(task.name)
-            task._fn()
-            task.next_at += task.interval
-            self._arm(task)
+        # One closure per task, built on first arm and reused on every
+        # re-arm — a periodic task firing N times allocates one closure,
+        # not N.
+        fire = task._fire
+        if fire is None:
+            def fire() -> None:
+                if task._cancelled:
+                    return
+                task.fires += 1
+                self._record(task.name)
+                task._fn()
+                task.next_at += task.interval
+                self._arm(task)
+
+            task._fire = fire
 
         self.clock.call_at(task.next_at, fire, tie=self._rng.random())
 

@@ -17,12 +17,32 @@ Abuse alerts land on the shared bus; the fleet report records per-tenant
 alert latency (first ``monitor.alert`` timestamp), aggregate throughput
 and Jain fairness *across OLTs* — the numbers the DSN paper's monitoring
 lessons (T6-T8, M15/M18) only make quantifiable at fleet scale.
+
+Two execution paths share the same shard construction
+(:func:`fleet_shard_configs`):
+
+* :class:`FleetDriver` — the original single-scheduler path: every shard
+  registers its cycle task on one shared :class:`Scheduler`, so the whole
+  fleet interleaves under one time authority. Kept for E19 and for
+  experiments that need shard events interleaved at cycle granularity.
+* :class:`ParallelFleetDriver` over a :class:`ShardPool` — the scale
+  path. Shards are fully self-contained (own clock, scheduler, bus), so
+  the pool advances each one to the next monitor boundary either
+  in-process (``workers=1``, the default fallback) or in spawn-safe
+  worker processes (``workers=N``). Workers return compact
+  :class:`CycleResult` payloads; the driver re-publishes the captured
+  shard events onto its shared bus in deterministic
+  ``(timestamp, shard_index, seq)`` order via
+  :meth:`~repro.common.events.EventBus.publish_batch`. Because every
+  shard is seeded identically no matter which worker hosts it, the
+  rendered fleet report is **byte-identical** for any worker count.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.clock import SimClock
 from repro.common.events import Event, EventBus
@@ -37,7 +57,9 @@ from repro.traffic.loadgen import (
 from repro.traffic.telemetry import OFFERED_SHARE_GAUGE, TrafficTelemetry
 
 __all__ = ["OltShard", "FleetReport", "FleetDriver", "fleet_tenant_specs",
-           "run_fleet_experiment"]
+           "run_fleet_experiment", "ShardConfig", "fleet_shard_configs",
+           "CycleResult", "ShardRunner", "ShardPool", "ParallelFleetDriver",
+           "run_fleet_parallel"]
 
 _BENIGN_PROFILES = ("steady", "bursty", "diurnal")
 
@@ -66,6 +88,51 @@ def fleet_tenant_specs(olt_index: int, count: int, hostile: bool,
                 profile=_BENIGN_PROFILES[(slot - 1) % len(_BENIGN_PROFILES)],
                 rate_bps=rate_bps))
     return specs
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything needed to (re)build one shard, in any process.
+
+    Pure data — picklable, so the same config builds an identical shard
+    in the parent (``workers=1`` fallback) or in a spawned worker. The
+    seed is the fleet seed: shard determinism comes from string-seeded
+    profile RNGs plus the shard-local scheduler seed, both derived from
+    the config alone, never from which worker hosts the shard.
+    """
+
+    index: int
+    name: str
+    specs: Tuple[TenantSpec, ...]
+    cycle_s: float
+    seed: int
+
+
+def fleet_shard_configs(n_olts: int, n_tenants: int, seed: int = 0,
+                        cycle_s: float = 0.02, rate_bps: float = 100e6,
+                        hostile: bool = True) -> List[ShardConfig]:
+    """Split ``n_tenants`` across ``n_olts`` shards (shared by both drivers).
+
+    Tenants are dealt as evenly as possible (earlier shards get the
+    remainder); with ``hostile`` the first shard's last tenant floods.
+    """
+    if n_olts < 1:
+        raise ValueError("need at least one OLT")
+    if n_tenants < n_olts:
+        raise ValueError("need at least one tenant per OLT")
+    configs: List[ShardConfig] = []
+    base, extra = divmod(n_tenants, n_olts)
+    for olt_index in range(1, n_olts + 1):
+        count = base + (1 if olt_index <= extra else 0)
+        # One flooder per fleet, on the first shard: the detector
+        # must pick it out of fleet-normalized shares.
+        specs = fleet_tenant_specs(olt_index, count,
+                                   hostile=hostile and olt_index == 1,
+                                   rate_bps=rate_bps)
+        configs.append(ShardConfig(index=olt_index, name=f"olt-{olt_index}",
+                                   specs=tuple(specs), cycle_s=cycle_s,
+                                   seed=seed))
+    return configs
 
 
 @dataclass
@@ -189,23 +256,19 @@ class FleetDriver:
         self.monitor_passes = 0
 
         self.shards: List[OltShard] = []
-        base, extra = divmod(n_tenants, n_olts)
-        for olt_index in range(1, n_olts + 1):
-            count = base + (1 if olt_index <= extra else 0)
-            # One flooder per fleet, on the first shard: the detector
-            # must pick it out of fleet-normalized shares.
-            specs = fleet_tenant_specs(olt_index, count,
-                                       hostile=hostile and olt_index == 1,
-                                       rate_bps=rate_bps)
-            network = PonNetwork.build(f"olt-{olt_index}",
+        for config in fleet_shard_configs(n_olts, n_tenants, seed=seed,
+                                          cycle_s=cycle_s, rate_bps=rate_bps,
+                                          hostile=hostile):
+            network = PonNetwork.build(config.name,
                                        clock=self.clock, bus=self.bus)
             generator = LoadGenerator(
-                network, specs, cycle_s=cycle_s, seed=seed,
+                network, list(config.specs), cycle_s=cycle_s, seed=seed,
                 sim=self.scheduler,
                 traffic_telemetry=TrafficTelemetry.disabled())
-            self.shards.append(OltShard(name=f"olt-{olt_index}",
+            self.shards.append(OltShard(name=config.name,
                                         network=network,
-                                        generator=generator, specs=specs))
+                                        generator=generator,
+                                        specs=list(config.specs)))
 
     # -- monitoring --------------------------------------------------------------
 
@@ -221,8 +284,7 @@ class FleetDriver:
         self.monitor_passes += 1
         offered: Dict[str, int] = {}
         for shard in self.shards:
-            for tenant, nbytes in shard.generator._offered.items():
-                offered[tenant] = nbytes
+            offered.update(shard.generator.offered_totals())
         total = sum(offered.values())
         for tenant in sorted(offered):
             share = offered[tenant] / total if total else 0.0
@@ -239,7 +301,7 @@ class FleetDriver:
         for shard in self.shards:
             shard.generator.start(seconds)
         # All generators share cycle_s, so they agree on the horizon.
-        duration = self.shards[0].generator._n_cycles \
+        duration = self.shards[0].generator.n_cycles \
             * self.shards[0].generator.cycle_s
         end = started_at + duration
         self.scheduler.every(self.monitor_interval_s, self._monitor_pass,
@@ -269,3 +331,349 @@ def run_fleet_experiment(n_olts: int = 4, n_tenants: int = 32,
     driver = FleetDriver(n_olts=n_olts, n_tenants=n_tenants, seed=seed,
                          hostile=hostile, cycle_s=cycle_s)
     return driver.run(seconds)
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution path: self-contained shards behind a worker pool.
+
+# One captured bus event, ready to pickle across a process boundary:
+# (timestamp, shard-local publish seq, topic, source, payload).
+EventRow = Tuple[float, int, str, str, Dict[str, Any]]
+
+
+@dataclass
+class CycleResult:
+    """Compact outcome of advancing one shard to a time boundary.
+
+    Everything a merge needs and nothing a worker cannot pickle: the
+    bus events captured since the previous boundary (as plain tuples),
+    cumulative per-tenant offered/delivered tallies, and counters.
+    """
+
+    shard_index: int
+    name: str
+    until: float
+    events: List[EventRow]
+    offered: Dict[str, int]
+    delivered: Dict[str, int]
+    admitted_bytes: int
+    dropped_requests: int
+    events_fired: int
+
+
+class ShardRunner:
+    """One self-contained OLT shard: own clock, scheduler and bus.
+
+    Identical code runs in the parent (``workers=1``) and in spawned
+    workers, which is what makes the fleet output worker-count-invariant:
+    a shard's entire event stream is a function of its
+    :class:`ShardConfig` alone. Every bus event the shard emits is
+    captured (with a shard-local sequence number) for the driver to merge
+    deterministically.
+    """
+
+    def __init__(self, config: ShardConfig) -> None:
+        self.config = config
+        self.index = config.index
+        self.name = config.name
+        self.clock = SimClock()
+        self.bus = EventBus()
+        self.scheduler = Scheduler(clock=self.clock, seed=config.seed)
+        self.network = PonNetwork.build(config.name,
+                                        clock=self.clock, bus=self.bus)
+        self.generator = LoadGenerator(
+            self.network, list(config.specs), cycle_s=config.cycle_s,
+            seed=config.seed, sim=self.scheduler,
+            traffic_telemetry=TrafficTelemetry.disabled())
+        self._pending: List[EventRow] = []
+        self._seq = 0
+        self.bus.subscribe("", self._capture)
+
+    def _capture(self, event: Event) -> None:
+        self._pending.append((event.timestamp, self._seq, event.topic,
+                              event.source, event.payload))
+        self._seq += 1
+
+    def start(self, seconds: float) -> int:
+        """Register the shard's cycle task; returns its cycle count."""
+        self.generator.start(seconds)
+        return self.generator.n_cycles
+
+    def advance(self, until: float) -> CycleResult:
+        """Run the shard to ``until`` and hand back what happened."""
+        self.scheduler.run_until(until)
+        events, self._pending = self._pending, []
+        qos = self.generator.qos
+        admitted = dropped = 0
+        if qos is not None:
+            for spec in self.generator.specs:
+                policy = qos.policy(spec.tenant)
+                admitted += policy.admitted_bytes
+                dropped += policy.dropped_requests
+        return CycleResult(
+            shard_index=self.index, name=self.name, until=until,
+            events=events,
+            offered=self.generator.offered_totals(),
+            delivered=self.generator.delivered_totals(),
+            admitted_bytes=admitted, dropped_requests=dropped,
+            events_fired=self.scheduler.events_fired)
+
+    def report(self) -> TrafficReport:
+        return self.generator.report()
+
+
+def _shard_worker_main(conn, configs: Sequence[ShardConfig]) -> None:
+    """Spawn entry point: host a bucket of shards, driven over a pipe.
+
+    Commands are ``(verb, arg)`` tuples — ``("start", seconds)``,
+    ``("advance", until)``, ``("report", None)`` each answer with a list
+    (one entry per hosted shard, in bucket order); ``("stop", None)``
+    ends the loop. Process-wide telemetry is disabled first so worker
+    shards never meter into a registry nobody will ever scrape.
+    """
+    from repro.common.telemetry import set_telemetry_enabled
+    set_telemetry_enabled(False)
+    runners = [ShardRunner(config) for config in configs]
+    try:
+        while True:
+            command, arg = conn.recv()
+            if command == "start":
+                conn.send([runner.start(arg) for runner in runners])
+            elif command == "advance":
+                conn.send([runner.advance(arg) for runner in runners])
+            elif command == "report":
+                conn.send([(runner.name, runner.report())
+                           for runner in runners])
+            elif command == "stop":
+                break
+    except EOFError:
+        pass
+    finally:
+        conn.close()
+
+
+class ShardPool:
+    """Advances a set of shards in lockstep, in-process or across workers.
+
+    ``workers=1`` (the default) hosts every shard in the calling process
+    — no multiprocessing at all, the portable fallback. ``workers>1``
+    spawns that many worker processes (``spawn`` context, so the pool is
+    fork-safety-agnostic) and deals shards round-robin across them.
+    Results always come back sorted by shard index, so callers never see
+    worker assignment.
+    """
+
+    def __init__(self, configs: Sequence[ShardConfig],
+                 workers: int = 1) -> None:
+        if not configs:
+            raise ValueError("need at least one shard")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.configs = list(configs)
+        self.workers = min(workers, len(self.configs))
+        self._local: List[ShardRunner] = []
+        self._procs: List[mp.process.BaseProcess] = []
+        self._conns: List[Any] = []
+        if self.workers == 1:
+            self._local = [ShardRunner(config) for config in self.configs]
+            return
+        ctx = mp.get_context("spawn")
+        buckets: List[List[ShardConfig]] = [[] for _ in range(self.workers)]
+        for position, config in enumerate(self.configs):
+            buckets[position % self.workers].append(config)
+        for bucket in buckets:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(target=_shard_worker_main,
+                                  args=(child_conn, bucket), daemon=True)
+            process.start()
+            child_conn.close()
+            self._procs.append(process)
+            self._conns.append(parent_conn)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.configs)
+
+    def _broadcast(self, command: str, arg: Any) -> List[Any]:
+        for conn in self._conns:
+            conn.send((command, arg))
+        return [item for conn in self._conns for item in conn.recv()]
+
+    def start(self, seconds: float) -> int:
+        """Register every shard's cycle task; returns the cycle count
+        (identical across shards — they share ``cycle_s``)."""
+        if self._local:
+            counts = [runner.start(seconds) for runner in self._local]
+        else:
+            counts = self._broadcast("start", seconds)
+        return counts[0]
+
+    def advance(self, until: float) -> List[CycleResult]:
+        """Advance every shard to ``until``; results in shard-index order."""
+        if self._local:
+            results = [runner.advance(until) for runner in self._local]
+        else:
+            results = self._broadcast("advance", until)
+        results.sort(key=lambda result: result.shard_index)
+        return results
+
+    def reports(self) -> Dict[str, TrafficReport]:
+        """Per-shard traffic reports, keyed and ordered by shard name."""
+        if self._local:
+            pairs = [(runner.name, runner.report())
+                     for runner in self._local]
+        else:
+            pairs = self._broadcast("report", None)
+        return {name: report for name, report in sorted(pairs)}
+
+    def close(self) -> None:
+        """Stop workers (idempotent; a no-op for the in-process pool)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._procs:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=10)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+        self._local = []
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class ParallelFleetDriver:
+    """Fleet driver over a :class:`ShardPool`.
+
+    Advances the pool monitor-interval by monitor-interval; after each
+    boundary it merges every shard's captured events onto the shared bus
+    in ``(timestamp, shard_index, seq)`` order — a total order that does
+    not depend on worker count or scheduling — then runs the
+    fleet-normalized monitor pass and the Falco stats heartbeat. The
+    rendered :class:`FleetReport` is therefore byte-identical between
+    ``workers=1`` and ``workers=N`` for the same seed.
+    """
+
+    def __init__(self, n_olts: int = 4, n_tenants: int = 32, seed: int = 0,
+                 cycle_s: float = 0.02, rate_bps: float = 100e6,
+                 hostile: bool = True,
+                 monitor_interval_s: float = 0.1,
+                 alert_persistence: int = 2,
+                 workers: int = 1) -> None:
+        if monitor_interval_s <= 0:
+            raise ValueError("monitor interval must be positive")
+        self.seed = seed
+        self.monitor_interval_s = monitor_interval_s
+        self.configs = fleet_shard_configs(
+            n_olts, n_tenants, seed=seed, cycle_s=cycle_s,
+            rate_bps=rate_bps, hostile=hostile)
+        self.pool = ShardPool(self.configs, workers=workers)
+        self.bus = EventBus()
+        # Fleet-local registry, same rationale as FleetDriver.
+        self.registry = MetricsRegistry()
+        self._offered_gauge = self.registry.gauge(
+            OFFERED_SHARE_GAUGE,
+            "Fraction of fleet-wide offered upstream load, per tenant.",
+            ("tenant",))
+        self.detector = ResourceAbuseDetector(
+            registry=self.registry, bus=self.bus,
+            persistence=alert_persistence)
+        self.falco = FalcoEngine()
+        self.falco.attach(self.bus)
+        self.alert_first_at: Dict[str, float] = {}
+        self.bus.subscribe("monitor.alert", self._on_alert)
+        self.monitor_passes = 0
+
+    def _on_alert(self, event: Event) -> None:
+        summary = str(event.payload.get("summary", ""))
+        token = summary.split(" ", 1)[0]
+        if token.startswith("tenant="):
+            self.alert_first_at.setdefault(token[len("tenant="):],
+                                           event.timestamp)
+
+    def _merge(self, results: Sequence[CycleResult]) -> int:
+        """Publish the boundary's shard events in deterministic order.
+
+        Returns the fleet's cumulative shard scheduler event count.
+        """
+        rows: List[Tuple[float, int, int, str, str, Dict[str, Any]]] = []
+        for result in results:
+            shard = result.shard_index
+            for timestamp, seq, topic, source, payload in result.events:
+                rows.append((timestamp, shard, seq, topic, source, payload))
+        rows.sort(key=lambda row: (row[0], row[1], row[2]))
+        self.bus.publish_batch([
+            Event(topic=topic, source=source, timestamp=timestamp,
+                  payload=payload)
+            for timestamp, _shard, _seq, topic, source, payload in rows])
+        return sum(result.events_fired for result in results)
+
+    def _monitor_pass(self, results: Sequence[CycleResult],
+                      boundary: float) -> None:
+        """Fleet-normalized offered shares from the shard tallies."""
+        self.monitor_passes += 1
+        offered: Dict[str, int] = {}
+        for result in results:
+            offered.update(result.offered)
+        total = sum(offered.values())
+        for tenant in sorted(offered):
+            share = offered[tenant] / total if total else 0.0
+            self._offered_gauge.set(round(share, 6), tenant=tenant)
+        self.detector.sample_metrics(now=boundary)
+
+    def run(self, seconds: float) -> FleetReport:
+        """Drive every shard for ``seconds`` of simulated time."""
+        if seconds <= 0:
+            raise ValueError("duration must be positive")
+        n_cycles = self.pool.start(seconds)
+        duration = n_cycles * self.configs[0].cycle_s
+        events_fired = 0
+        boundary = 0.0
+        step = 0
+        while boundary < duration:
+            step += 1
+            # Multiples of the interval, never float accumulation — the
+            # boundary sequence is identical in every mode.
+            boundary = min(step * self.monitor_interval_s, duration)
+            results = self.pool.advance(boundary)
+            events_fired = self._merge(results)
+            self._monitor_pass(results, boundary)
+            self.bus.emit("monitor.stats", "falco", boundary,
+                          events_processed=self.falco.events_processed,
+                          rule_evaluations=self.falco.rule_evaluations,
+                          alerts=len(self.falco.alerts))
+        report = FleetReport(
+            duration_s=duration, seed=self.seed, started_at=0.0,
+            scheduler_events=events_fired + self.monitor_passes,
+            monitor_passes=self.monitor_passes,
+            alert_first_at=dict(self.alert_first_at),
+            hostile_tenants=[spec.tenant for config in self.configs
+                             for spec in config.specs
+                             if spec.profile == "hostile"])
+        # Sorted insertion: fleet-level float sums then reduce in the
+        # same order regardless of which worker produced which report.
+        report.olts.update(self.pool.reports())
+        return report
+
+
+def run_fleet_parallel(n_olts: int = 4, n_tenants: int = 32,
+                       seconds: float = 2.0, seed: int = 0,
+                       hostile: bool = True, cycle_s: float = 0.02,
+                       workers: int = 1) -> FleetReport:
+    """Stand up a sharded fleet and run it — the E20 / CLI entry point."""
+    driver = ParallelFleetDriver(n_olts=n_olts, n_tenants=n_tenants,
+                                 seed=seed, hostile=hostile,
+                                 cycle_s=cycle_s, workers=workers)
+    try:
+        return driver.run(seconds)
+    finally:
+        driver.pool.close()

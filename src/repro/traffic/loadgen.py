@@ -196,6 +196,24 @@ class LoadGenerator:
                 self.qos.add_tenant(spec.tenant,
                                     rate_bps=spec.rate_bps * qos_headroom)
 
+        self._n_cycles = 0
+        self._offered: Dict[str, int] = {}
+        self._delivered: Dict[str, int] = {}
+        self._latencies: Dict[str, List[float]] = {}
+
+    @property
+    def n_cycles(self) -> int:
+        """Cycles the current run spans (0 before :meth:`start`)."""
+        return self._n_cycles
+
+    def offered_totals(self) -> Dict[str, int]:
+        """Cumulative offered bytes per tenant since :meth:`start`."""
+        return dict(self._offered)
+
+    def delivered_totals(self) -> Dict[str, int]:
+        """Cumulative delivered (granted+sent) bytes per tenant."""
+        return dict(self._delivered)
+
     def start(self, seconds: float) -> PeriodicTask:
         """Register the per-cycle task with the sim engine.
 

@@ -235,6 +235,146 @@ class TestEventBusUnsubscribeClosures:
         assert len(seen) == 3
 
 
+class TestEventBusDeliveryPlan:
+    """The cached-plan fast path must be invisible to subscribers."""
+
+    def test_subscribe_after_publish_invalidates_cached_plan(self):
+        bus = EventBus()
+        first, second = [], []
+        bus.subscribe("t", first.append)
+        bus.emit("t", "s", 0.0)            # builds and caches the plan
+        bus.subscribe("t", second.append)  # must invalidate it
+        bus.emit("t", "s", 1.0)
+        assert len(first) == 2
+        assert len(second) == 1
+
+    def test_unsubscribe_after_publish_invalidates_cached_plan(self):
+        bus = EventBus()
+        seen = []
+        unsub = bus.subscribe("t", seen.append)
+        bus.emit("t", "s", 0.0)
+        unsub()
+        bus.emit("t", "s", 1.0)
+        assert len(seen) == 1
+
+    def test_prefix_match_still_applies_to_new_concrete_topics(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("host", seen.append)
+        bus.emit("host.syscall", "h", 0.0)
+        bus.emit("host.file", "h", 1.0)    # different concrete topic
+        assert [e.topic for e in seen] == ["host.syscall", "host.file"]
+
+    def test_unsubscribe_during_delivery_keeps_snapshot(self):
+        """Mid-delivery unsubscribes take effect from the *next* publish,
+        matching the old copy-the-handler-list semantics."""
+        bus = EventBus()
+        seen = []
+        unsubs = {}
+        bus.subscribe("t", lambda e: unsubs["late"]())
+        unsubs["late"] = bus.subscribe("t", seen.append)
+        bus.emit("t", "s", 0.0)    # late still sees the in-flight event
+        bus.emit("t", "s", 1.0)    # but not later ones
+        assert len(seen) == 1
+
+    def test_unsubscribed_registrations_are_compacted_away(self):
+        """Unsubscribe tombstones; bulk churn compacts the pattern table."""
+        bus = EventBus()
+        unsubs = [bus.subscribe("t", lambda e: None) for _ in range(20)]
+        for unsub in unsubs:
+            unsub()
+            unsub()    # idempotent under tombstoning too
+        assert sum(1 for s in bus._subscribers["t"] if s.active) == 0
+        assert len(bus._subscribers["t"]) < 20
+        bus.emit("t", "s", 0.0)    # and the bus still publishes fine
+
+    def test_live_subscribers_survive_compaction(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", seen.append)
+        unsubs = [bus.subscribe("t", lambda e: None) for _ in range(30)]
+        for unsub in unsubs:
+            unsub()
+        bus.emit("t", "s", 0.0)
+        assert len(seen) == 1
+
+
+class TestEventBusPublishBatch:
+    def test_matches_sequential_publishes(self):
+        events = ([Event("a.x", "s", float(i), {"i": i}) for i in range(3)]
+                  + [Event("b", "s", 3.0)])
+        batch_bus, seq_bus = EventBus(), EventBus()
+        batch_seen, seq_seen = [], []
+        for bus, seen in ((batch_bus, batch_seen), (seq_bus, seq_seen)):
+            bus.subscribe("a", seen.append)
+            bus.subscribe("", seen.append)
+        delivered = batch_bus.publish_batch(events)
+        for event in events:
+            seq_bus.publish(event)
+        assert batch_seen == seq_seen
+        assert delivered == len(seq_seen)
+        assert list(batch_bus.history()) == list(seq_bus.history())
+
+    def test_empty_batch_is_a_noop(self):
+        bus = EventBus()
+        assert bus.publish_batch([]) == 0
+        assert list(bus.history()) == []
+
+    def test_predicates_apply_per_event(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", seen.append,
+                      predicate=lambda e: e.get("level", 0) >= 2)
+        bus.publish_batch([Event("t", "s", float(i), {"level": i})
+                           for i in range(4)])
+        assert [e.get("level") for e in seen] == [2, 3]
+
+    def test_history_bound_holds_for_oversized_batch(self):
+        bus = EventBus(history_limit=10)
+        bus.publish_batch([Event("t", "s", float(i)) for i in range(25)])
+        retained = list(bus.history())
+        assert len(retained) == 10
+        assert retained[-1].timestamp == 24.0
+
+    def test_history_bound_holds_across_batches(self):
+        bus = EventBus(history_limit=10)
+        for start in range(0, 40, 4):
+            bus.publish_batch([Event("t", "s", float(start + i))
+                               for i in range(4)])
+            assert len(list(bus.history())) <= 10
+        assert list(bus.history())[-1].timestamp == 39.0
+
+    def test_unlimited_history_when_limit_zero(self):
+        bus = EventBus(history_limit=0)
+        bus.publish_batch([Event("t", "s", float(i)) for i in range(300)])
+        assert len(list(bus.history())) == 300
+
+    def test_handler_sees_the_whole_batch_in_history(self):
+        bus = EventBus()
+        sizes = []
+        bus.subscribe("t", lambda e: sizes.append(len(list(bus.history()))))
+        bus.publish_batch([Event("t", "s", float(i)) for i in range(5)])
+        assert sizes == [5] * 5
+
+    def test_metrics_match_per_event_publishes(self):
+        from repro.common.telemetry import MetricsRegistry
+        events = ([Event("a.x", "s", 0.0)] * 3 + [Event("b", "s", 1.0)])
+        batch_registry, seq_registry = MetricsRegistry(), MetricsRegistry()
+        batch_bus = EventBus(metrics=batch_registry)
+        seq_bus = EventBus(metrics=seq_registry)
+        for bus in (batch_bus, seq_bus):
+            bus.subscribe("a", lambda e: None)
+        batch_bus.publish_batch(events)
+        for event in events:
+            seq_bus.publish(event)
+        for metric in ("bus_events_total", "bus_deliveries_total"):
+            for topic in ("a.x", "b"):
+                assert (batch_registry.get(metric)
+                        .labels(topic=topic).value
+                        == seq_registry.get(metric)
+                        .labels(topic=topic).value)
+
+
 class TestIdGenerator:
     def test_sequential_per_prefix(self):
         gen = IdGenerator()

@@ -1,0 +1,162 @@
+"""Tests for the parallel fleet path: shard configs, pool, merge, CLI.
+
+The load-bearing property is worker-count invariance: a shard's entire
+event stream is a function of its :class:`ShardConfig` alone, so the
+rendered fleet report must be byte-identical no matter how many worker
+processes host the shards.
+"""
+
+import pickle
+
+import pytest
+
+from repro.__main__ import main
+from repro.traffic.fleet import (
+    CycleResult, FleetDriver, ParallelFleetDriver, ShardConfig, ShardPool,
+    ShardRunner, fleet_shard_configs, run_fleet_parallel,
+)
+
+
+class TestShardConfigs:
+    def test_split_matches_the_legacy_driver(self):
+        configs = fleet_shard_configs(4, 10)
+        assert [len(c.specs) for c in configs] == [3, 3, 2, 2]
+        driver = FleetDriver(n_olts=4, n_tenants=10)
+        assert ([[s.tenant for s in c.specs] for c in configs]
+                == [[s.tenant for s in shard.specs]
+                    for shard in driver.shards])
+
+    def test_hostile_only_on_the_first_shard(self):
+        profiles = [[s.profile for s in c.specs]
+                    for c in fleet_shard_configs(3, 9, hostile=True)]
+        assert profiles[0][-1] == "hostile"
+        assert all("hostile" not in shard for shard in profiles[1:])
+
+    def test_no_hostile_anywhere_when_disabled(self):
+        for config in fleet_shard_configs(3, 9, hostile=False):
+            assert all(s.profile != "hostile" for s in config.specs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fleet_shard_configs(0, 5)
+        with pytest.raises(ValueError):
+            fleet_shard_configs(4, 2)
+
+    def test_configs_are_picklable(self):
+        configs = fleet_shard_configs(2, 4, seed=3)
+        assert pickle.loads(pickle.dumps(configs)) == configs
+
+
+class TestShardRunner:
+    def test_advance_returns_captured_events_in_order(self):
+        runner = ShardRunner(fleet_shard_configs(1, 3, seed=1)[0])
+        runner.start(0.1)
+        result = runner.advance(0.1)
+        assert isinstance(result, CycleResult)
+        assert result.events
+        assert [row[1] for row in result.events] \
+            == sorted(row[1] for row in result.events)
+        assert [row[0] for row in result.events] \
+            == sorted(row[0] for row in result.events)
+        assert sum(result.offered.values()) > 0
+        assert result.events_fired > 0
+
+    def test_successive_advances_do_not_replay_events(self):
+        runner = ShardRunner(fleet_shard_configs(1, 3, seed=1)[0])
+        runner.start(0.2)
+        first = runner.advance(0.1)
+        second = runner.advance(0.2)
+        assert first.events and second.events
+        assert second.events[0][1] > first.events[-1][1]   # seq advances
+
+    def test_same_config_same_stream(self):
+        config = fleet_shard_configs(2, 6, seed=9)[1]
+        streams = []
+        for _ in range(2):
+            runner = ShardRunner(config)
+            runner.start(0.1)
+            streams.append(runner.advance(0.1).events)
+        assert streams[0] == streams[1]
+
+
+class TestShardPool:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPool([], workers=1)
+        with pytest.raises(ValueError):
+            ShardPool(fleet_shard_configs(1, 2), workers=0)
+
+    def test_workers_clamped_to_shard_count(self):
+        pool = ShardPool(fleet_shard_configs(1, 2), workers=8)
+        assert pool.workers == 1         # one shard -> in-process fallback
+        assert pool._local
+        pool.close()
+
+    def test_in_process_pool_runs_without_multiprocessing(self):
+        pool = ShardPool(fleet_shard_configs(2, 4, seed=2), workers=1)
+        assert not pool._procs
+        n_cycles = pool.start(0.1)
+        assert n_cycles == 5
+        results = pool.advance(0.1)
+        assert [r.shard_index for r in results] == [1, 2]
+        reports = pool.reports()
+        assert list(reports) == ["olt-1", "olt-2"]
+        pool.close()
+
+
+class TestParallelDriver:
+    def test_workers_do_not_change_the_rendered_report(self):
+        kwargs = dict(n_olts=2, n_tenants=6, seconds=0.3, seed=5)
+        single = run_fleet_parallel(workers=1, **kwargs).render()
+        multi = run_fleet_parallel(workers=2, **kwargs).render()
+        assert single == multi
+
+    def test_merged_events_land_on_the_parent_bus_in_time_order(self):
+        driver = ParallelFleetDriver(n_olts=2, n_tenants=4, seed=0)
+        try:
+            report = driver.run(0.2)
+        finally:
+            driver.pool.close()
+        timestamps = [e.timestamp for e in driver.bus.history()]
+        assert timestamps == sorted(timestamps)
+        assert any(e.topic == "pon.dba.grant"
+                   for e in driver.bus.history())
+        assert report.scheduler_events > 0
+        assert report.monitor_passes == 2
+
+    def test_hostile_flagged_through_the_merged_bus(self):
+        report = run_fleet_parallel(n_olts=2, n_tenants=6, seconds=0.5,
+                                    seed=0, workers=1)
+        assert report.hostile_tenants == ["olt1-tenant-hostile"]
+        latency = report.alert_latency_s("olt1-tenant-hostile")
+        assert latency is not None and 0 < latency <= 0.5
+        benign = {tenant for olt in report.olts.values()
+                  for tenant in olt.tenants} - set(report.hostile_tenants)
+        assert not benign & set(report.alert_first_at)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelFleetDriver(n_olts=0)
+        with pytest.raises(ValueError):
+            ParallelFleetDriver(n_olts=4, n_tenants=2)
+        with pytest.raises(ValueError):
+            ParallelFleetDriver(monitor_interval_s=0)
+        driver = ParallelFleetDriver(n_olts=1, n_tenants=2)
+        try:
+            with pytest.raises(ValueError):
+                driver.run(0)
+        finally:
+            driver.pool.close()
+
+
+class TestFleetWorkersCli:
+    def test_workers_flag_accepted(self, capsys):
+        assert main(["fleet", "--olts", "2", "--tenants", "4",
+                     "--seconds", "0.2", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet run: 2 OLTs x 4 tenants" in out
+        assert "Jain across OLTs" in out
+
+    def test_invalid_workers_exit_2(self, capsys):
+        assert main(["fleet", "--workers", "0"]) == 2
+        assert "error: --workers" in capsys.readouterr().err

@@ -288,6 +288,203 @@ class TestQosEnforcer:
             qos.add_tenant("t", rate_bps=1e6)
 
 
+class TestQosCycleDropBytes:
+    """Regression: ``qos.drop`` must carry *per-cycle* dropped bytes.
+
+    The original payload published the lifetime ``policy.dropped_bytes``
+    next to the per-cycle ``dropped`` count, so every cycle's event
+    re-reported all drops since the start of the run.
+    """
+
+    def test_dropped_bytes_reset_between_cycles(self):
+        bus = EventBus()
+        qos = QosEnforcer(bus=bus)
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=100,
+                       queue_limit_bytes=100)
+        for _ in range(2):
+            qos.submit(Request("t", 400, 0.0), now=0.0)
+        qos.cycle_end(now=0.02)
+        qos.submit(Request("t", 300, 0.03), now=0.03)
+        qos.cycle_end(now=0.04)
+        drops = list(bus.history("qos.drop"))
+        assert [e.get("dropped") for e in drops] == [2, 1]
+        assert [e.get("dropped_bytes") for e in drops] == [800, 300]
+        # the lifetime total still rides along, under its own key
+        assert [e.get("dropped_bytes_total") for e in drops] == [800, 1100]
+
+    def test_cycle_counters_reset_without_a_bus_too(self):
+        qos = QosEnforcer()
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=100,
+                       queue_limit_bytes=100)
+        qos.submit(Request("t", 400, 0.0), now=0.0)
+        qos.cycle_end(now=0.02)
+        policy = qos.policy("t")
+        assert policy._cycle_drops == 0
+        assert policy._cycle_drop_bytes == 0
+        assert policy.dropped_bytes == 400
+
+
+class TestQosBackpressureBoundaries:
+    """Hysteresis boundary semantics: >= HIGH asserts, <= LOW clears."""
+
+    @staticmethod
+    def _tenant(bus):
+        # 1000 B/s refill, bucket and queue both 1000 bytes deep.
+        qos = QosEnforcer(bus=bus)
+        qos.add_tenant("t", rate_bps=8000, burst_bytes=1000,
+                       queue_limit_bytes=1000)
+        return qos
+
+    def test_fill_exactly_at_high_watermark_asserts(self):
+        bus = EventBus()
+        qos = self._tenant(bus)
+        assert qos.submit(Request("t", 1000, 0.0), now=0.0) == "admitted"
+        assert qos.submit(Request("t", 500, 0.0), now=0.0) == "queued"
+        assert not list(bus.history("qos.backpressure"))    # 0.5 < HIGH
+        assert qos.submit(Request("t", 300, 0.0), now=0.0) == "queued"
+        (event,) = bus.history("qos.backpressure")
+        assert event.get("state") == "asserted"
+        assert event.get("queue_fill") == QosEnforcer.HIGH_WATERMARK
+        assert qos.policy("t").backpressured
+
+    def test_fill_exactly_at_low_watermark_clears(self):
+        bus = EventBus()
+        qos = self._tenant(bus)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)    # drains the bucket
+        qos.submit(Request("t", 300, 0.0), now=0.0)
+        qos.submit(Request("t", 500, 0.0), now=0.0)     # fill 0.8: asserted
+        # t=0.3 refills exactly 300 tokens: only the 300-byte head drains,
+        # leaving the queue at precisely the LOW watermark.
+        qos.admit([], now=0.3)
+        states = [e.get("state") for e in bus.history("qos.backpressure")]
+        assert states == ["asserted", "cleared"]
+        cleared = list(bus.history("qos.backpressure"))[-1]
+        assert cleared.get("queue_fill") == QosEnforcer.LOW_WATERMARK
+        assert not qos.policy("t").backpressured
+
+    def test_no_duplicate_events_on_repeated_crossings(self):
+        bus = EventBus()
+        qos = self._tenant(bus)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)
+        qos.submit(Request("t", 500, 0.0), now=0.0)
+        qos.submit(Request("t", 300, 0.0), now=0.0)     # asserted at 0.8
+        qos.submit(Request("t", 200, 0.0), now=0.0)     # fill 1.0: no dup
+        qos.admit([], now=0.5)                          # cleared at 0.5
+        qos.submit(Request("t", 300, 0.5), now=0.5)     # fill 0.8 again
+        states = [e.get("state") for e in bus.history("qos.backpressure")]
+        assert states == ["asserted", "cleared", "asserted"]
+
+
+class _CountingQos(QosEnforcer):
+    """Counts watermark checks, to pin the drain-path fast exit."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.watermark_checks = 0
+
+    def _check_backpressure(self, policy, now):
+        self.watermark_checks += 1
+        super()._check_backpressure(policy, now)
+
+
+class TestDrainSkipsNoopWatermarkCheck:
+    def test_no_check_when_queue_is_empty(self):
+        qos = _CountingQos()
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=1000)
+        qos.admit([], now=0.1)
+        assert qos.watermark_checks == 0
+
+    def test_no_check_when_nothing_can_be_released(self):
+        qos = _CountingQos()
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=1000,
+                       queue_limit_bytes=10_000)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)
+        qos.submit(Request("t", 800, 0.0), now=0.0)      # queued: one check
+        checks_after_submit = qos.watermark_checks
+        assert checks_after_submit == 1
+        qos.admit([], now=0.0)       # no refill, nothing drains: no check
+        assert qos.watermark_checks == checks_after_submit
+
+    def test_check_runs_when_something_is_released(self):
+        qos = _CountingQos()
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=1000,
+                       queue_limit_bytes=10_000)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)
+        qos.submit(Request("t", 800, 0.0), now=0.0)
+        checks_after_submit = qos.watermark_checks
+        released = qos.admit([], now=0.001)      # refill releases the head
+        assert released
+        assert qos.watermark_checks == checks_after_submit + 1
+
+
+_admit_cycles = st.lists(
+    st.lists(st.tuples(st.integers(min_value=0, max_value=1),
+                       st.integers(min_value=1, max_value=2000)),
+             min_size=0, max_size=12),
+    min_size=1, max_size=6)
+
+
+class TestVectorizedAdmitMatchesReference:
+    """The vectorized admit path must be outcome-identical to the
+    per-request reference: same admitted lists, same policy/bucket state
+    (exact float equality — token spends do not commute), and the same
+    per-tenant event stream."""
+
+    @staticmethod
+    def _enforcer():
+        bus = EventBus()
+        qos = QosEnforcer(bus=bus, registry=telemetry.MetricsRegistry())
+        for tenant in ("t0", "t1"):
+            qos.add_tenant(tenant, rate_bps=8e6, burst_bytes=1000,
+                           queue_limit_bytes=3000)
+        return qos, bus
+
+    @staticmethod
+    def _tenant_events(bus, tenant):
+        return [(e.topic, e.timestamp, e.payload) for e in bus.history()
+                if e.payload.get("tenant") == tenant]
+
+    @given(_admit_cycles)
+    @settings(max_examples=50, deadline=None)
+    def test_outcomes_state_and_events_match(self, cycles):
+        fast, fast_bus = self._enforcer()
+        reference, reference_bus = self._enforcer()
+        for index, cycle in enumerate(cycles):
+            now = index * 0.02
+            requests = [Request(f"t{t}", size, now) for t, size in cycle]
+            assert (fast.admit(list(requests), now)
+                    == reference.admit_reference(list(requests), now))
+        for tenant in ("t0", "t1"):
+            a, b = fast.policy(tenant), reference.policy(tenant)
+            assert a.admitted_bytes == b.admitted_bytes
+            assert a.dropped_requests == b.dropped_requests
+            assert a.dropped_bytes == b.dropped_bytes
+            assert a.queued_bytes == b.queued_bytes
+            assert list(a.queue) == list(b.queue)
+            assert a.backpressured == b.backpressured
+            assert a.bucket._tokens == b.bucket._tokens
+            assert (self._tenant_events(fast_bus, tenant)
+                    == self._tenant_events(reference_bus, tenant))
+
+    @given(_admit_cycles)
+    @settings(max_examples=30, deadline=None)
+    def test_batched_telemetry_totals_match(self, cycles):
+        fast, _ = self._enforcer()
+        reference, _ = self._enforcer()
+        for index, cycle in enumerate(cycles):
+            now = index * 0.02
+            requests = [Request(f"t{t}", size, now) for t, size in cycle]
+            fast.admit(list(requests), now)
+            reference.admit_reference(list(requests), now)
+        for metric in ("traffic_requests_total", "traffic_bytes_total"):
+            for tenant in ("t0", "t1"):
+                for outcome in ("admitted", "queued", "dropped"):
+                    assert (fast._metrics.get(metric)
+                            .labels(tenant=tenant, outcome=outcome).value
+                            == reference._metrics.get(metric)
+                            .labels(tenant=tenant, outcome=outcome).value)
+
+
 # ---------------------------------------------------------------------------
 # Load generation end-to-end
 # ---------------------------------------------------------------------------
