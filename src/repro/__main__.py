@@ -169,7 +169,8 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     report = run_traffic_experiment(
         n_tenants=args.tenants, seconds=args.seconds,
         hostile=not args.no_hostile, dba=not args.no_dba,
-        qos=not args.no_qos, seed=args.seed)
+        qos=not args.no_qos, seed=args.seed,
+        downstream=args.downstream)
     print(report.render())
     if registry is not None:
         findings = ResourceAbuseDetector(registry=registry).sample_metrics()
@@ -197,7 +198,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return 2
     report = run_fleet_parallel(
         n_olts=args.olts, n_tenants=args.tenants, seconds=args.seconds,
-        seed=args.seed, hostile=not args.no_hostile, workers=args.workers)
+        seed=args.seed, hostile=not args.no_hostile, workers=args.workers,
+        downstream=args.downstream)
     print(report.render())
     return 0
 
@@ -234,6 +236,9 @@ def main(argv=None) -> int:
                               "becomes demand-proportional)")
     traffic.add_argument("--no-qos", action="store_true",
                          help="disable per-tenant admission control")
+    traffic.add_argument("--downstream", action="store_true",
+                         help="also schedule the downstream direction "
+                              "(per-ONU OLT queues, bidirectional QoS)")
     traffic.add_argument("--metrics", action="store_true",
                          help="print a Prometheus-style telemetry snapshot "
                               "and the metrics-driven abuse findings")
@@ -253,6 +258,10 @@ def main(argv=None) -> int:
                        help="worker processes for the shard pool (1 = "
                             "in-process; output is byte-identical for "
                             "any value)")
+    fleet.add_argument("--downstream", action="store_true",
+                       help="run the downstream scheduling plane in every "
+                            "shard (bidirectional traffic; output stays "
+                            "byte-identical for any --workers)")
     cra = sub.add_parser("cra", help="Cyber Resilience Act readiness")
     cra.add_argument("--mitigations", default="all",
                      help="comma-separated mitigation ids, or 'all'/'none'")

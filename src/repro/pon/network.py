@@ -94,7 +94,8 @@ class PonNetwork:
         self.uplinks[name] = link
 
     def send_downstream(self, serial: str, payload: bytes,
-                        kind: FrameKind = FrameKind.DATA, port_index: int = 0) -> float:
+                        kind: FrameKind = FrameKind.DATA, port_index: int = 0,
+                        size_override: Optional[int] = None) -> float:
         """Send one downstream frame and account it in :attr:`stats`.
 
         Delivery is synchronous and the transmission delay is *accounted*
@@ -102,15 +103,24 @@ class PonNetwork:
         advancement belongs exclusively to the scheduler in
         :mod:`repro.common.sim`, so two networks sharing a clock cannot
         skew each other's timestamps.
+
+        ``stats.bytes_sent`` accounts the frame's actual on-the-wire size
+        as reported by the OLT (post-encryption ``gem.size``), never a
+        re-derived header-overhead estimate — with GEM encryption on, the
+        two disagree by the AEAD expansion, and the plant stats must
+        match the ``pon_bytes_total`` counter byte for byte.
+        ``size_override`` mirrors :meth:`send_upstream`: an aggregated
+        downstream cycle's drain travels as one frame accounting as its
+        full granted size.
         """
-        delay = self.olt.send_downstream(port_index, serial, payload, kind=kind)
-        gem_overhead = 5 + 18
+        tx = self.olt.send_downstream(port_index, serial, payload, kind=kind,
+                                      size_override=size_override)
         self.stats.frames_sent += 1
-        self.stats.bytes_sent += len(payload) + gem_overhead
-        self.stats.total_delay_s += delay
+        self.stats.bytes_sent += tx.wire_bytes
+        self.stats.total_delay_s += tx.delay_s
         if self._tx_delay_histogram is not None:
-            self._tx_delay_histogram.observe(delay)
-        return delay
+            self._tx_delay_histogram.observe(tx.delay_s)
+        return tx.delay_s
 
     def send_upstream(self, serial: str, payload: bytes,
                       kind: FrameKind = FrameKind.DATA,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional
 
 from repro.common import crypto, telemetry
 from repro.common.clock import SimClock
@@ -48,6 +48,18 @@ class ActivationRecord:
     timestamp: float
 
 
+class DownstreamTx(NamedTuple):
+    """Outcome of one downstream transmission.
+
+    ``wire_bytes`` is the GEM frame's actual on-the-wire size *after*
+    optional G.987.3 encryption — the single size every accounting layer
+    (OLT counters, plant stats) must agree on.
+    """
+
+    delay_s: float
+    wire_bytes: int
+
+
 @dataclass
 class PonPort:
     """One PON port: a fiber span shared by up to ``split_ratio`` ONUs."""
@@ -69,14 +81,20 @@ class Olt:
         auth_mode: str = "serial",
         rng: Optional[random.Random] = None,
         upstream_bps: float = 1.244e9,    # G.984 upstream line rate
+        downstream_bps: float = 2.488e9,  # G.984 downstream line rate
     ) -> None:
         if auth_mode not in ("serial", "certificate"):
             raise ValueError("auth_mode must be 'serial' or 'certificate'")
         if upstream_bps <= 0:
             raise ValueError("upstream_bps must be positive")
+        if downstream_bps <= 0:
+            raise ValueError("downstream_bps must be positive")
         self.name = name
         self.upstream_bps = float(upstream_bps)
+        self.downstream_bps = float(downstream_bps)
         self.dba = None    # duck-typed DBA scheduler (repro.traffic.dba)
+        # duck-typed downstream scheduler (repro.traffic.downstream)
+        self.downstream = None
         self._clock = clock or SimClock()
         self._bus = bus
         self.auth_mode = auth_mode
@@ -237,29 +255,66 @@ class Olt:
         capacity_bytes = int(self.upstream_bps / 8.0 * cycle_s)
         return self.dba.grant(capacity_bytes, now=self._clock.now)
 
+    # -- the downstream scheduling cycle -----------------------------------------
+
+    def attach_downstream(self, scheduler) -> None:
+        """Install a downstream scheduler (anything with ``run_cycle``).
+
+        The OLT owns the downstream broadcast capacity; the scheduler
+        decides how one cycle's worth of it is split across per-ONU
+        queues. Duck-typed for the same layering reason as
+        :meth:`attach_dba`.
+        """
+        if not hasattr(scheduler, "run_cycle"):
+            raise TypeError(
+                "a downstream scheduler must expose run_cycle(capacity, now)")
+        self.downstream = scheduler
+
+    def run_downstream_cycle(self, cycle_s: float):
+        """Schedule one downstream cycle; returns the scheduler's result.
+
+        :raises ValueError: no scheduler attached, or non-positive cycle.
+        """
+        if self.downstream is None:
+            raise ValueError(
+                f"OLT {self.name} has no downstream scheduler attached")
+        if cycle_s <= 0:
+            raise ValueError("cycle must be positive")
+        capacity_bytes = int(self.downstream_bps / 8.0 * cycle_s)
+        return self.downstream.run_cycle(capacity_bytes, now=self._clock.now)
+
     # -- traffic -----------------------------------------------------------------
 
     def send_downstream(self, port_index: int, serial: str, payload: bytes,
-                        kind: FrameKind = FrameKind.DATA) -> float:
+                        kind: FrameKind = FrameKind.DATA,
+                        size_override: Optional[int] = None) -> DownstreamTx:
         """Broadcast a downstream frame for one subscriber across the PON.
 
-        Returns the transmission delay. The frame physically reaches every
-        ONU (and tap) on the span — only encryption limits who can read it.
+        Returns the transmission delay plus the frame's on-the-wire size
+        (post-encryption ``gem.size`` — the one number counters and plant
+        stats must both use). ``size_override`` lets a scheduling cycle's
+        aggregated drain travel as a single frame accounting as its full
+        size without materialising payload bytes, mirroring the upstream
+        path. The frame physically reaches every ONU (and tap) on the
+        span — only encryption limits who can read it.
         """
         port = self._port(port_index)
         gem_port = self.provisioned_serials.get(serial)
         if gem_port is None:
             raise NotFoundError(f"serial {serial} is not provisioned")
-        frame = Frame(src=self.name, dst=serial, kind=kind, payload=payload)
+        frame = Frame(src=self.name, dst=serial, kind=kind, payload=payload,
+                      size_override=size_override)
         gem = GemFrame(gem_port=gem_port, inner=frame)
         if self.encryption_enabled:
             gem = self.key_server.encrypt(gem)
+        wire_bytes = gem.size
         if self._metrics is not None:
             self._frames_counter.inc(direction="downstream")
-            self._bytes_counter.inc(gem.size, direction="downstream")
+            self._bytes_counter.inc(wire_bytes, direction="downstream")
             if self.encryption_enabled:
                 self._encrypted_counter.inc()
-        return port.span.transmit(gem, gem.size)
+        delay = port.span.transmit(gem, wire_bytes)
+        return DownstreamTx(delay_s=delay, wire_bytes=wire_bytes)
 
     def receive_upstream(self, frame: Frame) -> None:
         """Accept an upstream frame from an activated ONU."""

@@ -11,7 +11,11 @@ measurable rather than asserted.
 * :mod:`repro.traffic.dba` — the GPON dynamic-bandwidth-allocation grant
   loop: strict priority + weighted fair sharing across T-CONTs;
 * :mod:`repro.traffic.qos` — per-tenant token buckets, bounded admission
-  queues, drops and backpressure events;
+  queues, drops and backpressure events (both directions, one enforcer
+  per direction);
+* :mod:`repro.traffic.downstream` — the OLT-side downstream scheduling
+  plane: bounded per-ONU queues drained strict-priority/weighted-fair by
+  the same batched allocator the upstream DBA uses;
 * :mod:`repro.traffic.telemetry` — tenant-labelled share gauges and
   histograms in the metrics registry;
 * :mod:`repro.traffic.loadgen` — the driver producing per-tenant
@@ -19,6 +23,7 @@ measurable rather than asserted.
 """
 
 from repro.traffic.dba import CompletedRequest, DbaScheduler, TCont
+from repro.traffic.downstream import DownstreamQueue, DownstreamScheduler
 from repro.traffic.fleet import (
     FleetDriver, FleetReport, OltShard, fleet_tenant_specs,
     run_fleet_experiment,
@@ -39,6 +44,8 @@ __all__ = [
     "CompletedRequest",
     "DbaScheduler",
     "DiurnalProfile",
+    "DownstreamQueue",
+    "DownstreamScheduler",
     "FleetDriver",
     "FleetReport",
     "HostileFloodProfile",

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.events import EventBus
 from repro.traffic.profiles import Request
@@ -147,10 +147,16 @@ class DbaScheduler:
     # -- registration -----------------------------------------------------------
 
     def register_tcont(self, serial: str, tenant: str, priority: int = 2,
-                       weight: float = 1.0) -> TCont:
-        """Create a T-CONT for one ONU/tenant flow; returns it."""
-        tcont = TCont(self._next_alloc_id, serial, tenant,
-                      priority=priority, weight=weight)
+                       weight: float = 1.0,
+                       factory: Callable[..., TCont] = TCont) -> TCont:
+        """Create a T-CONT for one ONU/tenant flow; returns it.
+
+        ``factory`` lets callers register :class:`TCont` subclasses (the
+        downstream plane's bounded queues) into the same allocator — the
+        cached flat weight/priority arrays are rebuilt either way.
+        """
+        tcont = factory(self._next_alloc_id, serial, tenant,
+                        priority=priority, weight=weight)
         self._tconts[tcont.alloc_id] = tcont
         self._next_alloc_id += 1
         self._flat = None

@@ -1,0 +1,180 @@
+"""Per-ONU downstream scheduling at the OLT (the broadcast direction).
+
+GPON downstream is a broadcast TDM stream: every GEM frame physically
+reaches every ONU on the splitter, and the OLT alone decides whose
+traffic occupies the frame slots. The paper's resource-abuse story
+(T8, M17/M18) is bidirectional — a flooded tenant's *responses* contend
+for the shared downstream just as its uploads contend for DBA grants —
+so this module gives the OLT the same scheduling discipline in the
+downstream direction:
+
+* :class:`DownstreamQueue` — a bounded per-(tenant, priority) FIFO at
+  the OLT. Unlike upstream T-CONTs (whose backlog lives at the ONU and
+  is policed by grants), downstream backlog occupies OLT buffer memory,
+  so the queue enforces a byte limit and tail-drops with accounting.
+* :class:`DownstreamScheduler` — strict priority across classes plus
+  weighted-fair filling within a class, computed by the *same*
+  :class:`~repro.traffic.dba.DbaScheduler` allocator the upstream path
+  uses — including its registration-time cached flat weight/priority
+  arrays, so the per-cycle allocation that feeds the drain loop is
+  array-driven. ``batched=False`` keeps the naive per-queue reference
+  path for the E21 before/after benchmark (allocations are byte-for-byte
+  identical either way, inherited from the DBA property tests and
+  re-asserted in :mod:`tests.test_downstream`).
+
+The scheduler is clock-agnostic: :meth:`DownstreamScheduler.run_cycle`
+takes ``now`` from its caller (the OLT's ``run_downstream_cycle``, run
+on the :mod:`repro.common.sim` Scheduler by the load generator), so it
+never advances time itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.events import EventBus
+from repro.traffic.dba import CompletedRequest, DbaScheduler, TCont
+from repro.traffic.profiles import Request
+
+__all__ = ["DownstreamQueue", "DownstreamScheduler", "DrainResult"]
+
+# sent bytes + the requests completed by them, for one queue, one cycle.
+DrainResult = Tuple[int, List[CompletedRequest]]
+
+
+class DownstreamQueue(TCont):
+    """A bounded downstream FIFO: a T-CONT that lives in OLT buffer RAM.
+
+    Shares the priority/weight/fragmentation machinery of
+    :class:`~repro.traffic.dba.TCont` (so the DBA allocator can schedule
+    it unchanged) but bounds its backlog: upstream backlog is the ONU's
+    problem, downstream backlog is finite OLT memory.
+    """
+
+    def __init__(self, alloc_id: int, serial: str, tenant: str,
+                 priority: int = 2, weight: float = 1.0,
+                 limit_bytes: int = 1 << 20) -> None:
+        if limit_bytes <= 0:
+            raise ValueError("limit_bytes must be positive")
+        super().__init__(alloc_id, serial, tenant,
+                         priority=priority, weight=weight)
+        self.limit_bytes = int(limit_bytes)
+        self.dropped_requests = 0
+        self.dropped_bytes = 0
+
+    def offer(self, request: Request) -> bool:
+        """Enqueue one response; tail-drops (with accounting) when full."""
+        if self.queued_bytes + request.size_bytes > self.limit_bytes:
+            self.dropped_requests += 1
+            self.dropped_bytes += request.size_bytes
+            return False
+        super().offer(request)
+        return True
+
+
+class DownstreamScheduler:
+    """The OLT-side downstream frame scheduler across per-ONU queues.
+
+    Wraps a ``fair``-policy :class:`~repro.traffic.dba.DbaScheduler` as
+    the allocation engine: one :meth:`run_cycle` computes the cycle's
+    per-queue byte allocation (guaranteed anti-starvation quantum, then
+    strict priority across classes with weighted-fair filling within
+    one) on the allocator's cached flat arrays, and drains each granted
+    queue onto the wire budget. Emits one ``pon.downstream.grant`` bus
+    event per cycle, mirroring ``pon.dba.grant``.
+    """
+
+    DEFAULT_QUEUE_LIMIT = 1 << 20     # 1 MiB of OLT buffer per queue
+
+    def __init__(self, bus: Optional[EventBus] = None,
+                 name: str = "downstream", batched: bool = True,
+                 guaranteed_share: float = 0.1,
+                 queue_limit_bytes: int = DEFAULT_QUEUE_LIMIT) -> None:
+        if queue_limit_bytes <= 0:
+            raise ValueError("queue_limit_bytes must be positive")
+        self.name = name
+        self.batched = batched
+        self.queue_limit_bytes = int(queue_limit_bytes)
+        self._bus = bus
+        # The allocator publishes no events of its own — this scheduler
+        # owns the downstream-flavoured grant event.
+        self._allocator = DbaScheduler(policy="fair",
+                                       guaranteed_share=guaranteed_share,
+                                       bus=None, name=f"{name}/alloc",
+                                       batched=batched)
+        self._queues: Dict[str, DownstreamQueue] = {}
+        self.cycles_run = 0
+
+    # -- registration -----------------------------------------------------------
+
+    def register_queue(self, serial: str, tenant: str, priority: int = 2,
+                       weight: float = 1.0,
+                       limit_bytes: Optional[int] = None) -> DownstreamQueue:
+        """Create one tenant's bounded downstream queue; returns it."""
+        if tenant in self._queues:
+            raise ValueError(f"tenant {tenant} already has a downstream queue")
+        limit = self.queue_limit_bytes if limit_bytes is None \
+            else int(limit_bytes)
+
+        def build(alloc_id: int, serial: str, tenant: str,
+                  priority: int, weight: float) -> DownstreamQueue:
+            return DownstreamQueue(alloc_id, serial, tenant,
+                                   priority=priority, weight=weight,
+                                   limit_bytes=limit)
+
+        queue = self._allocator.register_tcont(serial, tenant,
+                                               priority=priority,
+                                               weight=weight, factory=build)
+        self._queues[tenant] = queue
+        return queue
+
+    def queue(self, tenant: str) -> DownstreamQueue:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            raise KeyError(f"tenant {tenant} has no downstream queue")
+        return queue
+
+    def queues(self) -> List[DownstreamQueue]:
+        """Every queue, in alloc-id (registration) order."""
+        return self._allocator.tconts()
+
+    def total_backlog(self) -> int:
+        return self._allocator.total_backlog()
+
+    # -- the cycle --------------------------------------------------------------
+
+    def enqueue(self, request: Request) -> bool:
+        """Buffer one downstream response; False if tail-dropped."""
+        return self.queue(request.tenant).offer(request)
+
+    def run_cycle(self, capacity_bytes: int,
+                  now: float = 0.0) -> Dict[str, DrainResult]:
+        """Allocate and drain one downstream frame cycle.
+
+        Returns ``tenant -> (sent_bytes, completions)`` for every queue
+        that transmitted. Allocation runs on the DBA allocator (batched
+        flat arrays by default); the drain walks queues in alloc-id
+        order, so the result — like the upstream grant map — is a pure
+        function of registration order, backlog and capacity.
+        """
+        grants = self._allocator.grant(capacity_bytes, now=now)
+        self.cycles_run += 1
+        results: Dict[str, DrainResult] = {}
+        sent_total = 0
+        for queue in self._allocator.tconts():
+            granted = grants.get(queue.alloc_id, 0)
+            if granted <= 0:
+                continue
+            sent, completed = queue.drain(granted, now)
+            sent_total += sent
+            results[queue.tenant] = (sent, completed)
+        if self._bus is not None:
+            self._bus.emit(
+                "pon.downstream.grant", self.name, now,
+                cycle=self.cycles_run, capacity_bytes=capacity_bytes,
+                granted_bytes=sent_total,
+                backlog_bytes=self.total_backlog(),
+                queues={queue.alloc_id: grants.get(queue.alloc_id, 0)
+                        for queue in self._allocator.tconts()
+                        if grants.get(queue.alloc_id, 0) > 0})
+        return results

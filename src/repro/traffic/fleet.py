@@ -106,11 +106,13 @@ class ShardConfig:
     specs: Tuple[TenantSpec, ...]
     cycle_s: float
     seed: int
+    downstream: bool = False
 
 
 def fleet_shard_configs(n_olts: int, n_tenants: int, seed: int = 0,
                         cycle_s: float = 0.02, rate_bps: float = 100e6,
-                        hostile: bool = True) -> List[ShardConfig]:
+                        hostile: bool = True,
+                        downstream: bool = False) -> List[ShardConfig]:
     """Split ``n_tenants`` across ``n_olts`` shards (shared by both drivers).
 
     Tenants are dealt as evenly as possible (earlier shards get the
@@ -131,7 +133,7 @@ def fleet_shard_configs(n_olts: int, n_tenants: int, seed: int = 0,
                                    rate_bps=rate_bps)
         configs.append(ShardConfig(index=olt_index, name=f"olt-{olt_index}",
                                    specs=tuple(specs), cycle_s=cycle_s,
-                                   seed=seed))
+                                   seed=seed, downstream=downstream))
     return configs
 
 
@@ -170,6 +172,20 @@ class FleetReport:
     def fleet_throughput_bps(self) -> float:
         return sum(self.olt_throughput_bps(olt) for olt in self.olts)
 
+    @property
+    def downstream(self) -> bool:
+        """True when any shard scheduled the downstream direction."""
+        return any(report.downstream for report in self.olts.values())
+
+    def olt_downstream_bps(self, olt: str) -> float:
+        report = self.olts[olt]
+        return sum(row.downstream_throughput_bps
+                   for row in report.tenants.values())
+
+    @property
+    def fleet_downstream_bps(self) -> float:
+        return sum(self.olt_downstream_bps(olt) for olt in self.olts)
+
     def jain_across_olts(self) -> float:
         """Fairness of the fleet's delivered throughput between OLTs."""
         return jain_index([self.olt_throughput_bps(olt)
@@ -182,6 +198,7 @@ class FleetReport:
 
     def render(self) -> str:
         n_tenants = sum(len(r.tenants) for r in self.olts.values())
+        downstream = self.downstream
         lines = [
             f"fleet run: {len(self.olts)} OLTs x {n_tenants} tenants, "
             f"{self.duration_s:g}s simulated, seed {self.seed}",
@@ -189,20 +206,31 @@ class FleetReport:
             f"{self.monitor_passes} monitor passes",
             "",
             f"{'olt':<12} {'tenants':>7} {'Mbps':>10} {'jain':>7} "
-            f"{'drops':>7}",
+            f"{'drops':>7}"
+            + (f" {'dn Mbps':>10} {'dn drops':>9}" if downstream else ""),
         ]
         for olt in sorted(self.olts):
             report = self.olts[olt]
             drops = sum(row.dropped_requests
                         for row in report.tenants.values())
-            lines.append(
+            line = (
                 f"{olt:<12} {len(report.tenants):>7} "
                 f"{self.olt_throughput_bps(olt) / 1e6:>10.1f} "
                 f"{report.jain():>7.3f} {drops:>7}")
+            if downstream:
+                down_drops = sum(row.dropped_down_requests
+                                 for row in report.tenants.values())
+                line += (f" {self.olt_downstream_bps(olt) / 1e6:>10.1f} "
+                         f"{down_drops:>9}")
+            lines.append(line)
         lines.append("")
         lines.append(
             f"fleet throughput: {self.fleet_throughput_bps / 1e6:.1f} Mbps"
             f" | Jain across OLTs: {self.jain_across_olts():.3f}")
+        if downstream:
+            lines.append(
+                f"fleet downstream throughput: "
+                f"{self.fleet_downstream_bps / 1e6:.1f} Mbps")
         if self.hostile_tenants:
             for tenant in self.hostile_tenants:
                 latency = self.alert_latency_s(tenant)
@@ -225,7 +253,8 @@ class FleetDriver:
                  cycle_s: float = 0.02, rate_bps: float = 100e6,
                  hostile: bool = True,
                  monitor_interval_s: float = 0.1,
-                 alert_persistence: int = 2) -> None:
+                 alert_persistence: int = 2,
+                 downstream: bool = False) -> None:
         if n_olts < 1:
             raise ValueError("need at least one OLT")
         if n_tenants < n_olts:
@@ -258,12 +287,13 @@ class FleetDriver:
         self.shards: List[OltShard] = []
         for config in fleet_shard_configs(n_olts, n_tenants, seed=seed,
                                           cycle_s=cycle_s, rate_bps=rate_bps,
-                                          hostile=hostile):
+                                          hostile=hostile,
+                                          downstream=downstream):
             network = PonNetwork.build(config.name,
                                        clock=self.clock, bus=self.bus)
             generator = LoadGenerator(
                 network, list(config.specs), cycle_s=cycle_s, seed=seed,
-                sim=self.scheduler,
+                sim=self.scheduler, downstream=config.downstream,
                 traffic_telemetry=TrafficTelemetry.disabled())
             self.shards.append(OltShard(name=config.name,
                                         network=network,
@@ -326,10 +356,12 @@ class FleetDriver:
 def run_fleet_experiment(n_olts: int = 4, n_tenants: int = 32,
                          seconds: float = 2.0, seed: int = 0,
                          hostile: bool = True,
-                         cycle_s: float = 0.02) -> FleetReport:
+                         cycle_s: float = 0.02,
+                         downstream: bool = False) -> FleetReport:
     """Stand up a fleet and run it — the E19 / CLI entry point."""
     driver = FleetDriver(n_olts=n_olts, n_tenants=n_tenants, seed=seed,
-                         hostile=hostile, cycle_s=cycle_s)
+                         hostile=hostile, cycle_s=cycle_s,
+                         downstream=downstream)
     return driver.run(seconds)
 
 
@@ -384,6 +416,7 @@ class ShardRunner:
         self.generator = LoadGenerator(
             self.network, list(config.specs), cycle_s=config.cycle_s,
             seed=config.seed, sim=self.scheduler,
+            downstream=config.downstream,
             traffic_telemetry=TrafficTelemetry.disabled())
         self._pending: List[EventRow] = []
         self._seq = 0
@@ -568,14 +601,15 @@ class ParallelFleetDriver:
                  hostile: bool = True,
                  monitor_interval_s: float = 0.1,
                  alert_persistence: int = 2,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 downstream: bool = False) -> None:
         if monitor_interval_s <= 0:
             raise ValueError("monitor interval must be positive")
         self.seed = seed
         self.monitor_interval_s = monitor_interval_s
         self.configs = fleet_shard_configs(
             n_olts, n_tenants, seed=seed, cycle_s=cycle_s,
-            rate_bps=rate_bps, hostile=hostile)
+            rate_bps=rate_bps, hostile=hostile, downstream=downstream)
         self.pool = ShardPool(self.configs, workers=workers)
         self.bus = EventBus()
         # Fleet-local registry, same rationale as FleetDriver.
@@ -668,11 +702,13 @@ class ParallelFleetDriver:
 def run_fleet_parallel(n_olts: int = 4, n_tenants: int = 32,
                        seconds: float = 2.0, seed: int = 0,
                        hostile: bool = True, cycle_s: float = 0.02,
-                       workers: int = 1) -> FleetReport:
+                       workers: int = 1,
+                       downstream: bool = False) -> FleetReport:
     """Stand up a sharded fleet and run it — the E20 / CLI entry point."""
     driver = ParallelFleetDriver(n_olts=n_olts, n_tenants=n_tenants,
                                  seed=seed, hostile=hostile,
-                                 cycle_s=cycle_s, workers=workers)
+                                 cycle_s=cycle_s, workers=workers,
+                                 downstream=downstream)
     try:
         return driver.run(seconds)
     finally:

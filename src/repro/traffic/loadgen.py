@@ -29,6 +29,7 @@ from repro.common.sim import PeriodicTask, Scheduler
 from repro.pon.network import PonNetwork
 from repro.pon.onu import Onu
 from repro.traffic.dba import DbaScheduler, TCont
+from repro.traffic.downstream import DownstreamScheduler
 from repro.traffic.profiles import Request, WorkloadProfile, make_profile
 from repro.traffic.qos import QosEnforcer
 from repro.traffic.telemetry import TrafficTelemetry
@@ -73,7 +74,13 @@ class TenantSpec:
 
 @dataclass
 class TenantReport:
-    """Per-tenant outcome of one load-generation run."""
+    """Per-tenant outcome of one load-generation run.
+
+    ``admitted_bytes`` counts everything QoS let through — immediate
+    admissions plus queued requests released in later cycles. The
+    ``*_down`` fields are zero unless the run scheduled the downstream
+    direction too.
+    """
 
     tenant: str
     profile: str
@@ -86,6 +93,10 @@ class TenantReport:
     p95_latency_s: float
     throughput_bps: float
     bandwidth_share: float
+    offered_down_bytes: int = 0
+    delivered_down_bytes: int = 0
+    dropped_down_requests: int = 0
+    downstream_throughput_bps: float = 0.0
 
 
 @dataclass
@@ -97,6 +108,8 @@ class TrafficReport:
     dba_enabled: bool
     qos_enabled: bool
     tenants: Dict[str, TenantReport] = field(default_factory=dict)
+    downstream: bool = False
+    downstream_capacity_bps: float = 0.0
 
     def jain(self, tenants: Optional[Sequence[str]] = None) -> float:
         """Jain's index over delivered throughput (optionally a subset)."""
@@ -126,6 +139,26 @@ class TrafficReport:
                 f"{row.p95_latency_s * 1e3:>8.1f}")
         lines.append("")
         lines.append(f"Jain fairness index (all tenants): {self.jain():.3f}")
+        if self.downstream:
+            lines.append("")
+            lines.append(
+                f"downstream: broadcast "
+                f"{self.downstream_capacity_bps / 1e6:.0f} Mbps")
+            lines.append(
+                f"{'tenant':<16} {'offered':>10} {'delivered':>10} "
+                f"{'drops':>7} {'Mbps':>8}")
+            for tenant in sorted(self.tenants):
+                row = self.tenants[tenant]
+                lines.append(
+                    f"{row.tenant:<16} "
+                    f"{_fmt_bytes(row.offered_down_bytes):>10} "
+                    f"{_fmt_bytes(row.delivered_down_bytes):>10} "
+                    f"{row.dropped_down_requests:>7} "
+                    f"{row.downstream_throughput_bps / 1e6:>8.1f}")
+            lines.append("")
+            lines.append(
+                "Jain fairness index (downstream): "
+                f"{jain_index([row.downstream_throughput_bps for row in self.tenants.values()]):.3f}")
         return "\n".join(lines)
 
 
@@ -151,17 +184,25 @@ class LoadGenerator:
         qos_headroom: float = 1.5,
         traffic_telemetry: Optional[TrafficTelemetry] = None,
         sim: Optional[Scheduler] = None,
+        downstream: bool = False,
+        downstream_ratio: float = 4.0,
     ) -> None:
         if not specs:
             raise ValueError("at least one tenant spec is required")
         if cycle_s <= 0:
             raise ValueError("cycle must be positive")
+        if downstream_ratio <= 0:
+            raise ValueError("downstream_ratio must be positive")
         if len({spec.tenant for spec in specs}) != len(specs):
             raise ValueError("tenant names must be unique")
         self.network = network
         self.specs = list(specs)
         self.dba_enabled = dba_enabled
         self.qos_enabled = qos_enabled
+        self.downstream_enabled = downstream
+        # Access networks are asymmetric: each tenant's downstream
+        # responses are sized as a multiple of its subscribed rate.
+        self.downstream_ratio = downstream_ratio
         self.cycle_s = cycle_s
         self._clock = network.clock
         self._bus = network.bus
@@ -178,10 +219,21 @@ class LoadGenerator:
         self.qos = QosEnforcer(bus=self._bus,
                                name=f"{network.olt.name}/qos") \
             if qos_enabled else None
+        self.downstream_scheduler: Optional[DownstreamScheduler] = None
+        self.qos_down: Optional[QosEnforcer] = None
+        if downstream:
+            self.downstream_scheduler = DownstreamScheduler(
+                bus=self._bus, name=f"{network.olt.name}/downstream")
+            network.olt.attach_downstream(self.downstream_scheduler)
+            if qos_enabled:
+                self.qos_down = QosEnforcer(
+                    bus=self._bus, name=f"{network.olt.name}/qos-down",
+                    direction="downstream")
         self.telemetry = traffic_telemetry if traffic_telemetry is not None \
             else TrafficTelemetry()
 
         self._profiles: Dict[str, WorkloadProfile] = {}
+        self._profiles_down: Dict[str, WorkloadProfile] = {}
         self._tconts: Dict[str, TCont] = {}
         for spec in self.specs:
             if spec.serial not in network.onus:
@@ -195,10 +247,29 @@ class LoadGenerator:
             if self.qos is not None:
                 self.qos.add_tenant(spec.tenant,
                                     rate_bps=spec.rate_bps * qos_headroom)
+            if downstream:
+                # A distinct deterministic stream per direction: the
+                # string seed keeps replay (and cross-process shard
+                # rebuilds) byte-identical without correlating the two
+                # directions' jitter.
+                self._profiles_down[spec.tenant] = make_profile(
+                    spec.profile, spec.tenant,
+                    spec.rate_bps * downstream_ratio,
+                    seed=f"{seed}:downstream")
+                self.downstream_scheduler.register_queue(
+                    spec.serial, spec.tenant,
+                    priority=spec.priority, weight=spec.weight)
+                if self.qos_down is not None:
+                    self.qos_down.add_tenant(
+                        spec.tenant,
+                        rate_bps=spec.rate_bps * downstream_ratio
+                        * qos_headroom)
 
         self._n_cycles = 0
         self._offered: Dict[str, int] = {}
         self._delivered: Dict[str, int] = {}
+        self._offered_down: Dict[str, int] = {}
+        self._delivered_down: Dict[str, int] = {}
         self._latencies: Dict[str, List[float]] = {}
 
     @property
@@ -214,6 +285,15 @@ class LoadGenerator:
         """Cumulative delivered (granted+sent) bytes per tenant."""
         return dict(self._delivered)
 
+    def offered_downstream_totals(self) -> Dict[str, int]:
+        """Cumulative offered downstream bytes per tenant (empty when
+        the downstream plane is off)."""
+        return dict(self._offered_down)
+
+    def delivered_downstream_totals(self) -> Dict[str, int]:
+        """Cumulative delivered downstream bytes per tenant."""
+        return dict(self._delivered_down)
+
     def start(self, seconds: float) -> PeriodicTask:
         """Register the per-cycle task with the sim engine.
 
@@ -226,6 +306,9 @@ class LoadGenerator:
         self._n_cycles = max(1, round(seconds / self.cycle_s))
         self._offered = {s.tenant: 0 for s in self.specs}
         self._delivered = {s.tenant: 0 for s in self.specs}
+        if self.downstream_enabled:
+            self._offered_down = {s.tenant: 0 for s in self.specs}
+            self._delivered_down = {s.tenant: 0 for s in self.specs}
         self._latencies: Dict[str, List[float]] = {
             s.tenant: [] for s in self.specs}
         self._task = self.sim.every(
@@ -269,6 +352,43 @@ class LoadGenerator:
                 c.latency_s for c in completed)
 
         self.telemetry.record_cycle(cycle_offered, cycle_delivered)
+        if self.downstream_enabled:
+            self._downstream_cycle(now)
+
+    def _downstream_cycle(self, now: float) -> None:
+        """The cycle's downstream half: respond, police, schedule, drain.
+
+        Runs inside the same scheduler tick as the upstream half, so a
+        fleet shard's event stream (both directions) stays a pure
+        function of its config — the worker-invariance guarantee.
+        """
+        arrivals: List[Request] = []
+        for spec in self.specs:
+            batch = self._profiles_down[spec.tenant].batch(now, self.cycle_s)
+            self._offered_down[spec.tenant] += sum(
+                r.size_bytes for r in batch)
+            arrivals.extend(batch)
+        if self.qos_down is not None:
+            admitted = self.qos_down.admit(arrivals, now)
+        else:
+            admitted = arrivals
+        for request in admitted:
+            self.downstream_scheduler.enqueue(request)
+
+        results = self.network.olt.run_downstream_cycle(self.cycle_s)
+        cycle_delivered: Dict[str, int] = {}
+        for spec in self.specs:
+            sent, _completed = results.get(spec.tenant, (0, []))
+            cycle_delivered[spec.tenant] = sent
+            if sent:
+                self._delivered_down[spec.tenant] += sent
+                self.network.send_downstream(spec.serial, b"",
+                                             size_override=sent)
+        self.telemetry.record_downstream_cycle(
+            cycle_delivered,
+            {queue.tenant: queue.queued_bytes
+             for queue in self.downstream_scheduler.queues()},
+            self.cycle_s)
 
     def report(self) -> TrafficReport:
         """Per-tenant report over the cycles run since :meth:`start`."""
@@ -280,11 +400,25 @@ class LoadGenerator:
         report = TrafficReport(
             duration_s=duration,
             capacity_bps=self.network.olt.upstream_bps,
-            dba_enabled=self.dba_enabled, qos_enabled=self.qos_enabled)
+            dba_enabled=self.dba_enabled, qos_enabled=self.qos_enabled,
+            downstream=self.downstream_enabled,
+            downstream_capacity_bps=(self.network.olt.downstream_bps
+                                     if self.downstream_enabled else 0.0))
         for spec in self.specs:
             tenant_latencies = sorted(latencies[spec.tenant])
             dropped = (self.qos.policy(spec.tenant).dropped_requests
                        if self.qos is not None else 0)
+            dropped_down = 0
+            delivered_down = 0
+            if self.downstream_enabled:
+                delivered_down = self._delivered_down.get(spec.tenant, 0)
+                # Downstream drops happen at two stages: QoS admission
+                # and the bounded OLT queue.
+                dropped_down = self.downstream_scheduler.queue(
+                    spec.tenant).dropped_requests
+                if self.qos_down is not None:
+                    dropped_down += self.qos_down.policy(
+                        spec.tenant).dropped_requests
             report.tenants[spec.tenant] = TenantReport(
                 tenant=spec.tenant,
                 profile=spec.profile,
@@ -300,7 +434,11 @@ class LoadGenerator:
                 p95_latency_s=_percentile(tenant_latencies, 0.95),
                 throughput_bps=delivered[spec.tenant] * 8 / duration,
                 bandwidth_share=(delivered[spec.tenant] / total_delivered
-                                 if total_delivered else 0.0))
+                                 if total_delivered else 0.0),
+                offered_down_bytes=self._offered_down.get(spec.tenant, 0),
+                delivered_down_bytes=delivered_down,
+                dropped_down_requests=dropped_down,
+                downstream_throughput_bps=delivered_down * 8 / duration)
         return report
 
     def run(self, seconds: float) -> TrafficReport:
@@ -352,13 +490,15 @@ def run_traffic_experiment(
     cycle_s: float = 0.02,
     rate_bps: float = 100e6,
     network: Optional[PonNetwork] = None,
+    downstream: bool = False,
 ) -> TrafficReport:
     """Stand up a PON plant, run the standard scenario, return the report."""
     if network is None:
         network = PonNetwork.build("olt-traffic")
     specs = standard_tenant_specs(n_tenants, hostile=hostile, rate_bps=rate_bps)
     generator = LoadGenerator(network, specs, dba_enabled=dba,
-                              qos_enabled=qos, cycle_s=cycle_s, seed=seed)
+                              qos_enabled=qos, cycle_s=cycle_s, seed=seed,
+                              downstream=downstream)
     return generator.run(seconds)
 
 

@@ -6,15 +6,26 @@ becomes mechanical. Each tenant gets a :class:`TokenBucket` sized from
 its subscribed rate plus a bounded admission queue:
 
 * requests within rate are **admitted** immediately;
-* requests over rate are **queued** while the queue has room (and retried
-  each cycle as tokens refill);
+* requests over rate are **queued** while the queue has room (and
+  **released** in later cycles as tokens refill);
 * once the queue is full, requests are **dropped**.
+
+One enforcer polices one direction (``direction="upstream"`` by
+default); a bidirectional plant runs two instances over the same
+machinery, and every counter and bus event carries the direction label.
 
 Crossing the queue's high watermark publishes a ``qos.backpressure``
 event on the bus (cleared on falling below the low watermark), and each
 cycle with drops publishes one aggregated ``qos.drop`` event per tenant —
-the signals the monitoring stack correlates with abuse findings. All
-outcomes feed tenant-labelled counters in the telemetry registry.
+the signals the monitoring stack correlates with abuse findings.
+
+Telemetry invariant: ``traffic_requests_total`` counts *terminal*
+outcomes only (``admitted``/``released``/``dropped``), so its sum over
+outcomes equals the number of offered requests once queues drain —
+entering the queue is transient and counted separately in
+``traffic_queued_requests_total``. (The original scheme counted a
+queued request again on release, over-crediting bursty tenants in any
+share math built on the counters.)
 """
 
 from __future__ import annotations
@@ -100,8 +111,12 @@ class QosEnforcer:
     LOW_WATERMARK = 0.5
 
     def __init__(self, bus: Optional[EventBus] = None, name: str = "qos",
-                 registry: Optional[telemetry.MetricsRegistry] = None) -> None:
+                 registry: Optional[telemetry.MetricsRegistry] = None,
+                 direction: str = "upstream") -> None:
+        if direction not in ("upstream", "downstream"):
+            raise ValueError("direction must be 'upstream' or 'downstream'")
         self.name = name
+        self.direction = direction
         self._bus = bus
         self._policies: Dict[str, TenantPolicy] = {}
         metrics = registry if registry is not None else telemetry.active_registry()
@@ -109,12 +124,22 @@ class QosEnforcer:
         if metrics is not None:
             self._requests_counter = metrics.counter(
                 "traffic_requests_total",
-                "Tenant upstream requests, by admission outcome.",
-                ("tenant", "outcome"))
+                "Tenant requests, by direction and terminal admission "
+                "outcome (admitted/released/dropped).",
+                ("tenant", "direction", "outcome"))
             self._bytes_counter = metrics.counter(
                 "traffic_bytes_total",
-                "Tenant upstream bytes, by admission outcome.",
-                ("tenant", "outcome"))
+                "Tenant bytes, by direction and terminal admission outcome.",
+                ("tenant", "direction", "outcome"))
+            self._queued_counter = metrics.counter(
+                "traffic_queued_requests_total",
+                "Requests that entered the admission queue (transient; "
+                "they terminate later as released or never, not both).",
+                ("tenant", "direction"))
+            self._queued_bytes_counter = metrics.counter(
+                "traffic_queued_bytes_total",
+                "Bytes that entered the admission queue (transient).",
+                ("tenant", "direction"))
 
     def add_tenant(self, tenant: str, rate_bps: float,
                    burst_bytes: Optional[int] = None,
@@ -265,28 +290,47 @@ class QosEnforcer:
         if self._metrics is not None:
             for outcome, count, nbytes in (
                     ("admitted", admitted_n, admitted_bytes),
-                    ("queued", queued_n, queued_bytes),
                     ("dropped", dropped_n, dropped_bytes)):
                 if count:
                     self._requests_counter.inc(
-                        count, tenant=policy.tenant, outcome=outcome)
+                        count, tenant=policy.tenant,
+                        direction=self.direction, outcome=outcome)
                     self._bytes_counter.inc(
-                        nbytes, tenant=policy.tenant, outcome=outcome)
+                        nbytes, tenant=policy.tenant,
+                        direction=self.direction, outcome=outcome)
+            if queued_n:
+                self._queued_counter.inc(queued_n, tenant=policy.tenant,
+                                         direction=self.direction)
+                self._queued_bytes_counter.inc(
+                    queued_bytes, tenant=policy.tenant,
+                    direction=self.direction)
         return flags
 
     def _drain_queue(self, policy: TenantPolicy, now: float) -> List[Request]:
         released: List[Request] = []
+        released_bytes = 0
         while policy.queue:
             head = policy.queue[0]
             if not policy.bucket.allow(head.size_bytes, now):
                 break
             policy.queue.popleft()
             policy.queued_bytes -= head.size_bytes
-            self._account(policy, head, "admitted")
+            released_bytes += head.size_bytes
             released.append(head)
         # The watermark can only have moved if something left the queue;
         # skip the no-op check (and its fill arithmetic) otherwise.
+        # Releases are a distinct terminal outcome (the request was
+        # already counted "queued" once) and their telemetry is batched:
+        # one inc per tenant per drain, like _admit_tenant_batch.
         if released:
+            policy.admitted_bytes += released_bytes
+            if self._metrics is not None:
+                self._requests_counter.inc(
+                    len(released), tenant=policy.tenant,
+                    direction=self.direction, outcome="released")
+                self._bytes_counter.inc(
+                    released_bytes, tenant=policy.tenant,
+                    direction=self.direction, outcome="released")
             self._check_backpressure(policy, now)
         return released
 
@@ -307,6 +351,7 @@ class QosEnforcer:
             if policy._cycle_drops:
                 self._bus.emit(
                     "qos.drop", self.name, now, tenant=policy.tenant,
+                    direction=self.direction,
                     dropped=policy._cycle_drops,
                     dropped_bytes=policy._cycle_drop_bytes,
                     dropped_bytes_total=policy.dropped_bytes)
@@ -319,10 +364,23 @@ class QosEnforcer:
                  outcome: str) -> None:
         if outcome == "admitted":
             policy.admitted_bytes += request.size_bytes
-        if self._metrics is not None:
-            self._requests_counter.inc(tenant=policy.tenant, outcome=outcome)
-            self._bytes_counter.inc(request.size_bytes,
-                                    tenant=policy.tenant, outcome=outcome)
+        if self._metrics is None:
+            return
+        if outcome == "queued":
+            # Transient, not terminal — a queued request terminates later
+            # as released (or sits in the queue), so it must not land in
+            # traffic_requests_total or the outcome sum would exceed the
+            # offered count.
+            self._queued_counter.inc(tenant=policy.tenant,
+                                     direction=self.direction)
+            self._queued_bytes_counter.inc(request.size_bytes,
+                                           tenant=policy.tenant,
+                                           direction=self.direction)
+            return
+        self._requests_counter.inc(tenant=policy.tenant,
+                                   direction=self.direction, outcome=outcome)
+        self._bytes_counter.inc(request.size_bytes, tenant=policy.tenant,
+                                direction=self.direction, outcome=outcome)
 
     def _check_backpressure(self, policy: TenantPolicy, now: float) -> None:
         fill = (policy.queued_bytes / policy.queue_limit_bytes
@@ -332,10 +390,12 @@ class QosEnforcer:
             if self._bus is not None:
                 self._bus.emit("qos.backpressure", self.name, now,
                                tenant=policy.tenant, state="asserted",
+                               direction=self.direction,
                                queue_fill=round(fill, 3))
         elif policy.backpressured and fill <= self.LOW_WATERMARK:
             policy.backpressured = False
             if self._bus is not None:
                 self._bus.emit("qos.backpressure", self.name, now,
                                tenant=policy.tenant, state="cleared",
+                               direction=self.direction,
                                queue_fill=round(fill, 3))

@@ -17,6 +17,11 @@ Metric families (all labelled by ``tenant``):
 * ``runtime_tenant_cpu_share`` (gauge) + ``runtime_tenant_cpu_share_hist``
   (histogram) — per-tenant CPU share of a container runtime's capacity,
   sampled via :meth:`TrafficTelemetry.observe_runtime`.
+* ``traffic_tenant_downstream_throughput_bps`` (gauge) — delivered
+  downstream rate over the last scheduling cycle.
+* ``traffic_tenant_downstream_queue_bytes`` (gauge) — the tenant's
+  downstream queue depth at the OLT after the cycle's drain (sustained
+  depth means the broadcast direction is the bottleneck).
 
 The family names are module constants so consumers (the abuse detector,
 dashboards, tests) never hand-spell them.
@@ -34,6 +39,8 @@ __all__ = [
     "BANDWIDTH_SHARE_HIST",
     "CPU_SHARE_GAUGE",
     "CPU_SHARE_HIST",
+    "DOWNSTREAM_THROUGHPUT_GAUGE",
+    "DOWNSTREAM_QUEUE_GAUGE",
     "SHARE_BUCKETS",
     "TrafficTelemetry",
 ]
@@ -43,6 +50,8 @@ BANDWIDTH_SHARE_GAUGE = "traffic_tenant_bandwidth_share"
 BANDWIDTH_SHARE_HIST = "traffic_tenant_bandwidth_share_hist"
 CPU_SHARE_GAUGE = "runtime_tenant_cpu_share"
 CPU_SHARE_HIST = "runtime_tenant_cpu_share_hist"
+DOWNSTREAM_THROUGHPUT_GAUGE = "traffic_tenant_downstream_throughput_bps"
+DOWNSTREAM_QUEUE_GAUGE = "traffic_tenant_downstream_queue_bytes"
 
 # Share-of-node buckets: fine below fair-share levels, coarse above.
 SHARE_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0)
@@ -80,6 +89,14 @@ class TrafficTelemetry:
                 CPU_SHARE_HIST,
                 "CPU share per tenant per sampling pass.",
                 ("tenant",), buckets=SHARE_BUCKETS)
+            self._downstream_throughput_gauge = metrics.gauge(
+                DOWNSTREAM_THROUGHPUT_GAUGE,
+                "Delivered downstream bits/s over the last cycle, "
+                "per tenant.", ("tenant",))
+            self._downstream_queue_gauge = metrics.gauge(
+                DOWNSTREAM_QUEUE_GAUGE,
+                "Downstream queue depth at the OLT after the cycle's "
+                "drain, per tenant.", ("tenant",))
 
     @classmethod
     def disabled(cls) -> "TrafficTelemetry":
@@ -112,6 +129,18 @@ class TrafficTelemetry:
             share = nbytes / total_delivered if total_delivered else 0.0
             self._share_gauge.set(round(share, 6), tenant=tenant)
             self._share_hist.observe(share, tenant=tenant)
+
+    def record_downstream_cycle(self, delivered: Mapping[str, int],
+                                queue_depths: Mapping[str, int],
+                                cycle_s: float) -> None:
+        """Update the downstream throughput/queue-depth gauges."""
+        if self._metrics is None:
+            return
+        for tenant, nbytes in delivered.items():
+            self._downstream_throughput_gauge.set(
+                round(nbytes * 8 / cycle_s, 3), tenant=tenant)
+        for tenant, depth in queue_depths.items():
+            self._downstream_queue_gauge.set(depth, tenant=tenant)
 
     def observe_runtime(self, runtime) -> Dict[str, float]:
         """Sample a container runtime's per-tenant CPU shares into gauges.

@@ -1,0 +1,301 @@
+"""Tests for the downstream scheduling plane (PR 5 tentpole).
+
+Covers the bounded per-ONU queues, the strict-priority/weighted-fair
+drain (batched flat arrays vs the naive reference), the OLT cycle
+wiring, the bidirectional load generator, and the CLI flags.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import telemetry
+from repro.common.events import EventBus
+from repro.pon.network import PonNetwork
+from repro.pon.onu import Onu
+from repro.traffic import (
+    DownstreamQueue, DownstreamScheduler, QosEnforcer, Request,
+    run_traffic_experiment,
+)
+from repro.traffic.telemetry import (
+    DOWNSTREAM_QUEUE_GAUGE, DOWNSTREAM_THROUGHPUT_GAUGE,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_defaults():
+    telemetry.reset_default_registry()
+    telemetry.set_telemetry_enabled(True)
+    yield
+    telemetry.reset_default_registry()
+    telemetry.set_telemetry_enabled(True)
+
+
+# ---------------------------------------------------------------------------
+# DownstreamQueue: bounded OLT buffer with drop accounting
+# ---------------------------------------------------------------------------
+
+
+class TestDownstreamQueue:
+    def test_tail_drop_when_full_with_accounting(self):
+        queue = DownstreamQueue(1, "ONU1", "t", limit_bytes=1000)
+        assert queue.offer(Request("t", 600, 0.0))
+        assert queue.offer(Request("t", 400, 0.0))      # exactly at limit
+        assert not queue.offer(Request("t", 1, 0.0))    # over: tail drop
+        assert queue.queued_bytes == 1000
+        assert queue.dropped_requests == 1
+        assert queue.dropped_bytes == 1
+        assert not queue.offer(Request("t", 500, 0.0))
+        assert queue.dropped_requests == 2
+        assert queue.dropped_bytes == 501
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="limit_bytes"):
+            DownstreamQueue(1, "ONU1", "t", limit_bytes=0)
+
+    def test_drain_frees_room_for_new_offers(self):
+        queue = DownstreamQueue(1, "ONU1", "t", limit_bytes=1000)
+        queue.offer(Request("t", 1000, 0.0))
+        sent, completed = queue.drain(1000, now=0.1)
+        assert sent == 1000 and len(completed) == 1
+        assert queue.offer(Request("t", 1000, 0.1))
+
+
+# ---------------------------------------------------------------------------
+# DownstreamScheduler: registration + the drain cycle
+# ---------------------------------------------------------------------------
+
+
+def _loaded(setup, batched=True):
+    scheduler = DownstreamScheduler(batched=batched)
+    for index, (priority, weight, backlog) in enumerate(setup):
+        scheduler.register_queue(f"ONU{index}", f"tenant-{index}",
+                                 priority=priority, weight=weight)
+        if backlog:
+            scheduler.enqueue(Request(f"tenant-{index}", backlog, 0.0))
+    return scheduler
+
+
+class TestDownstreamScheduler:
+    def test_duplicate_tenant_rejected(self):
+        scheduler = DownstreamScheduler()
+        scheduler.register_queue("ONU1", "t")
+        with pytest.raises(ValueError, match="already has"):
+            scheduler.register_queue("ONU2", "t")
+
+    def test_unknown_tenant_enqueue_raises(self):
+        scheduler = DownstreamScheduler()
+        with pytest.raises(KeyError, match="no downstream queue"):
+            scheduler.enqueue(Request("ghost", 100, 0.0))
+
+    def test_queue_limit_validation(self):
+        with pytest.raises(ValueError, match="queue_limit_bytes"):
+            DownstreamScheduler(queue_limit_bytes=0)
+
+    def test_strict_priority_dominates_beyond_guarantee(self):
+        scheduler = DownstreamScheduler(guaranteed_share=0.1)
+        scheduler.register_queue("ONU1", "t-high", priority=0)
+        scheduler.register_queue("ONU2", "t-low", priority=3)
+        scheduler.enqueue(Request("t-high", 100_000, 0.0))
+        scheduler.enqueue(Request("t-low", 100_000, 0.0))
+        results = scheduler.run_cycle(100_000)
+        assert results["t-high"][0] > 0.85 * 100_000
+        assert results["t-low"][0] > 0          # anti-starvation quantum
+
+    def test_weighted_fair_within_a_class(self):
+        scheduler = DownstreamScheduler(guaranteed_share=0.0)
+        scheduler.register_queue("ONU1", "t-heavy", priority=1, weight=3.0)
+        scheduler.register_queue("ONU2", "t-light", priority=1, weight=1.0)
+        scheduler.enqueue(Request("t-heavy", 400_000, 0.0))
+        scheduler.enqueue(Request("t-light", 400_000, 0.0))
+        results = scheduler.run_cycle(100_000)
+        heavy, light = results["t-heavy"][0], results["t-light"][0]
+        assert heavy + light == 100_000
+        assert heavy == pytest.approx(3 * light, rel=0.05)
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.floats(min_value=0.5, max_value=8.0),
+                  st.integers(min_value=0, max_value=500_000)),
+        min_size=1, max_size=12),
+        st.integers(min_value=0, max_value=2_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_work_conserving(self, setup, capacity):
+        scheduler = _loaded(setup)
+        backlog = scheduler.total_backlog()
+        results = scheduler.run_cycle(capacity)
+        sent = sum(sent for sent, _ in results.values())
+        assert sent == min(capacity, backlog)
+        assert scheduler.total_backlog() == backlog - sent
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.floats(min_value=0.5, max_value=8.0),
+                  st.integers(min_value=0, max_value=500_000)),
+        min_size=1, max_size=12),
+        st.integers(min_value=0, max_value=2_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_batched_drain_matches_naive_reference(self, setup, capacity):
+        fast = _loaded(setup, batched=True)
+        reference = _loaded(setup, batched=False)
+        assert fast.run_cycle(capacity, now=0.02) \
+            == reference.run_cycle(capacity, now=0.02)
+
+    def test_grant_event_mirrors_dba_grant(self):
+        bus = EventBus()
+        scheduler = DownstreamScheduler(bus=bus)
+        queue = scheduler.register_queue("ONU1", "t")
+        scheduler.enqueue(Request("t", 5000, 0.0))
+        scheduler.run_cycle(3000, now=0.02)
+        (event,) = bus.history("pon.downstream.grant")
+        assert event.get("cycle") == 1
+        assert event.get("capacity_bytes") == 3000
+        assert event.get("granted_bytes") == 3000
+        assert event.get("backlog_bytes") == 2000
+        assert event.get("queues") == {queue.alloc_id: 3000}
+
+
+# ---------------------------------------------------------------------------
+# OLT wiring: attach + per-cycle capacity from the downstream line rate
+# ---------------------------------------------------------------------------
+
+
+class TestOltDownstreamCycle:
+    def test_attach_requires_a_scheduler(self):
+        network = PonNetwork.build("olt-x", n_ports=1)
+        with pytest.raises(TypeError, match="run_cycle"):
+            network.olt.attach_downstream(object())
+
+    def test_cycle_without_scheduler_raises(self):
+        network = PonNetwork.build("olt-x", n_ports=1)
+        with pytest.raises(ValueError, match="no downstream scheduler"):
+            network.olt.run_downstream_cycle(0.002)
+
+    def test_cycle_duration_must_be_positive(self):
+        network = PonNetwork.build("olt-x", n_ports=1)
+        network.olt.attach_downstream(DownstreamScheduler())
+        with pytest.raises(ValueError, match="cycle must be positive"):
+            network.olt.run_downstream_cycle(0.0)
+
+    def test_capacity_follows_downstream_line_rate(self):
+        network = PonNetwork.build("olt-x", n_ports=1)
+        scheduler = DownstreamScheduler()
+        scheduler.register_queue("ONU1", "t")
+        network.olt.attach_downstream(scheduler)
+        # More backlog than one 2 ms cycle of 2.488 Gbps (622 kB) can
+        # carry, while staying inside the 1 MiB queue limit.
+        assert scheduler.enqueue(Request("t", 1_000_000, 0.0))
+        results = network.olt.run_downstream_cycle(0.002)
+        expected = int(2.488e9 / 8.0 * 0.002)
+        assert results["t"][0] == expected
+
+    def test_downstream_bps_validated(self):
+        from repro.pon.olt import Olt
+        with pytest.raises(ValueError, match="downstream_bps"):
+            Olt("olt-x", downstream_bps=0)
+
+
+# ---------------------------------------------------------------------------
+# Bidirectional load generation end-to-end
+# ---------------------------------------------------------------------------
+
+
+class TestBidirectionalLoadGenerator:
+    def test_downstream_delivers_and_reports(self):
+        report = run_traffic_experiment(n_tenants=3, seconds=0.3,
+                                        downstream=True)
+        assert report.downstream
+        assert report.downstream_capacity_bps == pytest.approx(2.488e9)
+        for row in report.tenants.values():
+            assert row.offered_down_bytes > 0
+            assert row.delivered_down_bytes <= row.offered_down_bytes
+        assert any(row.delivered_down_bytes > 0
+                   for row in report.tenants.values())
+        rendered = report.render()
+        assert "downstream: broadcast 2488 Mbps" in rendered
+        assert "Jain fairness index (downstream):" in rendered
+
+    def test_same_seed_replays_identically(self):
+        renders = []
+        for _ in range(2):
+            telemetry.reset_default_registry()
+            report = run_traffic_experiment(n_tenants=3, seconds=0.3,
+                                            seed=7, downstream=True)
+            renders.append(report.render())
+        assert renders[0] == renders[1]
+
+    def test_hostile_downstream_clamped_by_qos(self):
+        report = run_traffic_experiment(n_tenants=4, seconds=0.5,
+                                        downstream=True)
+        hostile = report.tenants["tenant-hostile"]
+        assert hostile.delivered_down_bytes < 0.2 * hostile.offered_down_bytes
+        assert hostile.dropped_down_requests > 0
+
+    def test_upstream_rows_unchanged_without_downstream(self):
+        report = run_traffic_experiment(n_tenants=3, seconds=0.3)
+        assert not report.downstream
+        assert "downstream" not in report.render()
+        for row in report.tenants.values():
+            assert row.offered_down_bytes == 0
+            assert row.downstream_throughput_bps == 0.0
+
+    def test_downstream_gauges_populated(self):
+        telemetry.reset_default_registry()
+        run_traffic_experiment(n_tenants=2, seconds=0.2, downstream=True)
+        registry = telemetry.default_registry()
+        throughput = registry.get(DOWNSTREAM_THROUGHPUT_GAUGE)
+        assert any(child.value > 0
+                   for child in throughput.samples.values())
+        assert registry.get(DOWNSTREAM_QUEUE_GAUGE) is not None
+
+
+class TestDownstreamQosDirection:
+    def test_drop_and_backpressure_events_carry_direction(self):
+        bus = EventBus()
+        qos = QosEnforcer(bus=bus, direction="downstream")
+        qos.add_tenant("t", rate_bps=8000, burst_bytes=100,
+                       queue_limit_bytes=100)
+        for _ in range(5):
+            qos.submit(Request("t", 400, 0.0), now=0.0)
+        qos.cycle_end(now=0.02)
+        (drop,) = bus.history("qos.drop")
+        assert drop.get("direction") == "downstream"
+
+    def test_backpressure_events_carry_direction(self):
+        bus = EventBus()
+        qos = QosEnforcer(bus=bus, direction="downstream")
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=1000,
+                       queue_limit_bytes=1000)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)
+        qos.submit(Request("t", 900, 0.0), now=0.0)     # fill 0.9: asserted
+        qos.admit([], now=0.01)                         # drains: cleared
+        events = list(bus.history("qos.backpressure"))
+        assert len(events) == 2
+        assert all(e.get("direction") == "downstream" for e in events)
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            QosEnforcer(direction="sideways")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestDownstreamCli:
+    def test_traffic_downstream_flag(self, capsys):
+        from repro.__main__ import main
+        assert main(["traffic", "--tenants", "2", "--seconds", "0.2",
+                     "--downstream"]) == 0
+        out = capsys.readouterr().out
+        assert "downstream: broadcast" in out
+        assert "Jain fairness index (downstream):" in out
+
+    def test_fleet_downstream_flag(self, capsys):
+        from repro.__main__ import main
+        assert main(["fleet", "--olts", "2", "--tenants", "4",
+                     "--seconds", "0.3", "--downstream"]) == 0
+        out = capsys.readouterr().out
+        assert "dn Mbps" in out
+        assert "fleet downstream throughput:" in out

@@ -111,6 +111,18 @@ class TestParallelDriver:
         multi = run_fleet_parallel(workers=2, **kwargs).render()
         assert single == multi
 
+    def test_downstream_run_is_worker_invariant_too(self):
+        # The downstream cycle runs inside each shard; its per-tenant
+        # profiles are string-seeded, so the full bidirectional report
+        # must stay byte-identical across worker counts.
+        kwargs = dict(n_olts=2, n_tenants=6, seconds=0.3, seed=5,
+                      downstream=True)
+        single = run_fleet_parallel(workers=1, **kwargs).render()
+        multi = run_fleet_parallel(workers=2, **kwargs).render()
+        assert single == multi
+        assert "dn Mbps" in single
+        assert "fleet downstream throughput:" in single
+
     def test_merged_events_land_on_the_parent_bus_in_time_order(self):
         driver = ParallelFleetDriver(n_olts=2, n_tenants=4, seed=0)
         try:

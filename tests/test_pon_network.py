@@ -242,3 +242,53 @@ class TestTrafficFlow:
         assert link.tapped
         link.detach_tap(tap)
         assert not link.tapped
+
+
+class TestWireBytesAccounting:
+    """stats.bytes_sent and pon_bytes_total must agree byte for byte.
+
+    Regression: the network layer used to account a re-derived
+    ``len(payload) + 5 + 18`` while the OLT counter accounted the
+    post-encryption ``gem.size`` — with G.987.3 encryption on (48 bytes
+    of AEAD expansion) the two silently diverged.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        from repro.common import telemetry
+        telemetry.reset_default_registry()
+        telemetry.set_telemetry_enabled(True)
+        yield
+        telemetry.reset_default_registry()
+        telemetry.set_telemetry_enabled(True)
+
+    def _counter_value(self):
+        from repro.common import telemetry
+        counter = telemetry.default_registry().get("pon_bytes_total")
+        return counter.labels(direction="downstream").value
+
+    def test_stats_match_counter_with_encryption(self):
+        net = PonNetwork.build()
+        net.olt.enable_encryption()
+        net.attach_onu(Onu("ONU-A"))
+        for _ in range(7):
+            net.send_downstream("ONU-A", b"x" * 100)
+        # 100 payload + 18 frame header + 5 GEM header + 48 AEAD
+        assert net.stats.bytes_sent == 7 * 171
+        assert net.stats.bytes_sent == self._counter_value()
+
+    def test_stats_match_counter_without_encryption(self):
+        net = PonNetwork.build()
+        net.attach_onu(Onu("ONU-A"))
+        for _ in range(7):
+            net.send_downstream("ONU-A", b"x" * 100)
+        assert net.stats.bytes_sent == 7 * 123
+        assert net.stats.bytes_sent == self._counter_value()
+
+    def test_size_override_accounts_full_wire_size(self):
+        net = PonNetwork.build()
+        net.attach_onu(Onu("ONU-A"))
+        net.send_downstream("ONU-A", b"", size_override=50_000)
+        # override replaces the payload+header size; + 5 GEM header
+        assert net.stats.bytes_sent == 50_005
+        assert net.stats.bytes_sent == self._counter_value()

@@ -278,8 +278,28 @@ class TestQosEnforcer:
         qos.submit(Request("t", 1000, 0.0), now=0.0)
         qos.submit(Request("t", 600, 0.0), now=0.0)     # over limit: dropped
         counter = registry.get("traffic_requests_total")
-        assert counter.labels(tenant="t", outcome="admitted").value == 1
-        assert counter.labels(tenant="t", outcome="dropped").value == 1
+        assert counter.labels(tenant="t", direction="upstream",
+                              outcome="admitted").value == 1
+        assert counter.labels(tenant="t", direction="upstream",
+                              outcome="dropped").value == 1
+
+    def test_queued_counts_in_transient_family_only(self):
+        registry = telemetry.MetricsRegistry()
+        qos = QosEnforcer(registry=registry)
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=1000,
+                       queue_limit_bytes=2000)
+        qos.submit(Request("t", 1000, 0.0), now=0.0)     # admitted
+        qos.submit(Request("t", 800, 0.0), now=0.0)      # queued
+        queued = registry.get("traffic_queued_requests_total")
+        assert queued.labels(tenant="t", direction="upstream").value == 1
+        # The queued request is NOT a terminal outcome yet.
+        assert registry.get("traffic_requests_total").total() == 1
+        released = qos.admit([], now=0.01)               # refill releases it
+        assert len(released) == 1
+        counter = registry.get("traffic_requests_total")
+        assert counter.labels(tenant="t", direction="upstream",
+                              outcome="released").value == 1
+        assert counter.total() == 2
 
     def test_duplicate_tenant_rejected(self):
         qos = QosEnforcer()
@@ -478,11 +498,20 @@ class TestVectorizedAdmitMatchesReference:
             reference.admit_reference(list(requests), now)
         for metric in ("traffic_requests_total", "traffic_bytes_total"):
             for tenant in ("t0", "t1"):
-                for outcome in ("admitted", "queued", "dropped"):
+                for outcome in ("admitted", "released", "dropped"):
                     assert (fast._metrics.get(metric)
-                            .labels(tenant=tenant, outcome=outcome).value
+                            .labels(tenant=tenant, direction="upstream",
+                                    outcome=outcome).value
                             == reference._metrics.get(metric)
-                            .labels(tenant=tenant, outcome=outcome).value)
+                            .labels(tenant=tenant, direction="upstream",
+                                    outcome=outcome).value)
+        for metric in ("traffic_queued_requests_total",
+                       "traffic_queued_bytes_total"):
+            for tenant in ("t0", "t1"):
+                assert (fast._metrics.get(metric)
+                        .labels(tenant=tenant, direction="upstream").value
+                        == reference._metrics.get(metric)
+                        .labels(tenant=tenant, direction="upstream").value)
 
 
 # ---------------------------------------------------------------------------
@@ -670,3 +699,104 @@ class TestTrafficCli:
         assert main(["traffic", "--seconds", "-1"]) == 2
         err = capsys.readouterr().err
         assert "error:" in err
+
+
+# ---------------------------------------------------------------------------
+# Terminal-outcome invariant, clock regressions, drain-path events (PR 5)
+# ---------------------------------------------------------------------------
+
+
+class TestTokenBucketClockRegression:
+    """A backwards-moving ``now`` must never mint tokens."""
+
+    def test_backwards_now_mints_nothing(self):
+        bucket = TokenBucket(rate_bps=8000, burst_bytes=1000)   # 1000 B/s
+        assert bucket.allow(1000, now=1.0)                      # drained
+        assert bucket.tokens == 0.0
+        assert not bucket.allow(1, now=0.5)                     # clock back
+        assert bucket.tokens == 0.0
+        assert bucket._last_refill == 1.0                       # high-water
+
+    def test_refill_resumes_from_high_water_mark(self):
+        bucket = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        bucket.allow(1000, now=1.0)
+        bucket.allow(1, now=0.5)                # no-op regression
+        bucket._refill(1.2)                     # 0.2 s past the mark
+        assert bucket.tokens == pytest.approx(200.0)
+
+
+class TestTerminalOutcomeInvariant:
+    """sum(traffic_requests_total over outcomes) == offered requests.
+
+    ``queued`` is transient (counted in traffic_queued_requests_total);
+    every offered request ends as exactly one of admitted / released /
+    dropped, so the terminal counter family sums to the offered count.
+    """
+
+    def test_requests_total_sums_to_offered(self):
+        registry = telemetry.MetricsRegistry()
+        qos = QosEnforcer(registry=registry)
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=2000,
+                       queue_limit_bytes=3000)
+        offered = 0
+        for index in range(40):
+            now = index * 0.001
+            batch = [Request("t", 700, now), Request("t", 900, now)]
+            offered += len(batch)
+            qos.admit(batch, now)
+        # Each refill mints at most burst_bytes tokens, so flush twice to
+        # guarantee the queue (up to queue_limit_bytes deep) fully drains.
+        qos.admit([], now=10.0)
+        qos.admit([], now=20.0)
+        counter = registry.get("traffic_requests_total")
+        by_outcome = {
+            outcome: counter.labels(tenant="t", direction="upstream",
+                                    outcome=outcome).value
+            for outcome in ("admitted", "released", "dropped")}
+        assert by_outcome["released"] > 0       # the drain path did fire
+        assert sum(by_outcome.values()) == offered
+        assert counter.total() == offered
+
+    def test_reference_path_holds_the_same_invariant(self):
+        registry = telemetry.MetricsRegistry()
+        qos = QosEnforcer(registry=registry)
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=2000,
+                       queue_limit_bytes=3000)
+        offered = 0
+        for index in range(40):
+            now = index * 0.001
+            batch = [Request("t", 700, now), Request("t", 900, now)]
+            offered += len(batch)
+            qos.admit_reference(batch, now)
+        qos.admit_reference([], now=10.0)
+        qos.admit_reference([], now=20.0)
+        assert registry.get("traffic_requests_total").total() == offered
+
+
+class TestDrainPathEvents:
+    def test_cleared_emitted_exactly_once_for_multi_request_drain(self):
+        bus = EventBus()
+        qos = QosEnforcer(bus=bus)
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=2000,
+                       queue_limit_bytes=2000)
+        qos.submit(Request("t", 2000, 0.0), now=0.0)    # drains the bucket
+        for _ in range(4):                              # queue at 100%
+            assert qos.submit(Request("t", 500, 0.0), now=0.0) == "queued"
+        released = qos.admit([], now=0.01)      # refills the full 2000 burst
+        assert len(released) == 4                       # everything drains
+        states = [e.get("state") for e in bus.history("qos.backpressure")]
+        assert states == ["asserted", "cleared"]
+
+    def test_drain_releases_one_counter_inc_per_cycle(self):
+        registry = telemetry.MetricsRegistry()
+        qos = QosEnforcer(registry=registry)
+        qos.add_tenant("t", rate_bps=8e6, burst_bytes=2000,
+                       queue_limit_bytes=2000)
+        qos.submit(Request("t", 2000, 0.0), now=0.0)
+        for _ in range(4):
+            qos.submit(Request("t", 500, 0.0), now=0.0)
+        qos.admit([], now=0.01)
+        counter = registry.get("traffic_requests_total")
+        released = counter.labels(tenant="t", direction="upstream",
+                                  outcome="released")
+        assert released.value == 4
